@@ -1,0 +1,67 @@
+// Ablation: broadcast join (the paper's design for both prototypes)
+// versus the SpatialHadoop-style partitioned join (the scale-out
+// alternative discussed in the paper's related work, and the mode real
+// SpatialSpark grew for right sides that exceed worker memory).
+//
+// Runs both modes of the Spark engine on taxi-nycb and taxi-lion-500 and
+// replays them on a 10-node cluster. Broadcast pays index build + network
+// fan-out; partitioned pays a two-sided shuffle and boundary replication.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace cloudjoin::bench {
+namespace {
+
+void RunCase(PaperBench* bench, const data::Workload& workload,
+             int num_tiles) {
+  join::SpatialSparkSystem spark(bench->fs(), bench->num_partitions());
+  auto broadcast =
+      spark.Join(workload.left, workload.right, workload.predicate);
+  CLOUDJOIN_CHECK(broadcast.ok()) << broadcast.status();
+  auto partitioned = spark.PartitionedJoin(workload.left, workload.right,
+                                           workload.predicate, num_tiles);
+  CLOUDJOIN_CHECK(partitioned.ok()) << partitioned.status();
+  CLOUDJOIN_CHECK(broadcast->pairs.size() == partitioned->pairs.size())
+      << "modes disagree: " << broadcast->pairs.size() << " vs "
+      << partitioned->pairs.size();
+
+  sim::ClusterSpec cluster = sim::ClusterSpec::Ec2(10);
+  sim::RunReport b =
+      bench->SimulateSpark(*broadcast, workload, cluster);
+  sim::RunReport p =
+      bench->SimulateSpark(*partitioned, workload, cluster);
+  std::printf(
+      "%-16s broadcast %8.2fs (bcast %6.2fs)  partitioned(%3d tiles) "
+      "%8.2fs  -> %5.2fx  (%zu pairs)\n",
+      workload.name.c_str(), b.simulated_seconds, b.breakdown.at("broadcast"),
+      num_tiles, p.simulated_seconds,
+      p.simulated_seconds / b.simulated_seconds, broadcast->pairs.size());
+}
+
+void Run(const Flags& flags) {
+  PaperBench bench(flags);
+  bench.PrintHeader(
+      "Ablation: broadcast vs partitioned spatial join (Spark engine)",
+      "the paper broadcasts the (small) right side; partitioning is the "
+      "scale-out path");
+  int tiles = static_cast<int>(flags.GetInt("tiles", 64));
+  RunCase(&bench, bench.suite().taxi_nycb, tiles);
+  RunCase(&bench, bench.suite().taxi_lion_500, tiles);
+  std::printf(
+      "\nexpected shape: with paper-sized (memory-resident) right sides the "
+      "broadcast\njoin wins — the shuffle re-materializes BOTH sides and "
+      "replicates boundary\nrecords; partitioning pays off only when the "
+      "right side outgrows memory\n(which the cluster spec's 15 GB/node "
+      "would hit near ~100M-polygon right sides).\n");
+}
+
+}  // namespace
+}  // namespace cloudjoin::bench
+
+int main(int argc, char** argv) {
+  cloudjoin::Flags flags(argc, argv);
+  cloudjoin::bench::Run(flags);
+  return 0;
+}

@@ -1,0 +1,198 @@
+// Kernel microbenchmarks (google-benchmark): the two geometry libraries'
+// refinement primitives and WKT parsing, across polygon complexities. The
+// per-vertex cost gap between the flat kernel and the GEOS-role kernel is
+// the root cause of every headline number in the paper's evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/predicates.h"
+#include "geom/prepared.h"
+#include "geom/wkb.h"
+#include "geom/wkt.h"
+#include "geosim/geometry.h"
+#include "geosim/operations.h"
+#include "geosim/wkt_reader.h"
+
+namespace cloudjoin {
+namespace {
+
+std::string StarPolygonWkt(int vertices, uint64_t seed) {
+  Rng rng(seed);
+  std::string wkt = "POLYGON ((";
+  char buf[64];
+  double x0 = 0, y0 = 0;
+  for (int i = 0; i < vertices; ++i) {
+    double theta = 6.283185307179586 * i / vertices;
+    double r = 80.0 + 20.0 * std::sin(5 * theta) + rng.Uniform(-5, 5);
+    double x = r * std::cos(theta);
+    double y = r * std::sin(theta);
+    if (i == 0) {
+      x0 = x;
+      y0 = y;
+    } else {
+      wkt += ", ";
+    }
+    std::snprintf(buf, sizeof(buf), "%.10g %.10g", x, y);
+    wkt += buf;
+  }
+  std::snprintf(buf, sizeof(buf), ", %.10g %.10g))", x0, y0);
+  wkt += buf;
+  return wkt;
+}
+
+std::vector<geom::Point> ProbePoints(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geom::Point> points;
+  points.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    points.push_back(
+        geom::Point{rng.Uniform(-120, 120), rng.Uniform(-120, 120)});
+  }
+  return points;
+}
+
+void BM_PointInPolygon_FastKernel(benchmark::State& state) {
+  auto poly = geom::ReadWkt(StarPolygonWkt(static_cast<int>(state.range(0)), 1));
+  auto probes = ProbePoints(256, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        geom::PointInPolygon(probes[i++ & 255], *poly));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointInPolygon_FastKernel)->Arg(9)->Arg(64)->Arg(279)->Arg(1024);
+
+void BM_PointInPolygon_GeosKernel(benchmark::State& state) {
+  static const geosim::GeometryFactory factory;
+  geosim::WKTReader reader(&factory);
+  auto poly = reader.read(StarPolygonWkt(static_cast<int>(state.range(0)), 1));
+  auto probes = ProbePoints(256, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    const geom::Point& p = probes[i++ & 255];
+    benchmark::DoNotOptimize(
+        geosim::pointInPolygonal(geosim::Coordinate(p.x, p.y), poly->get()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointInPolygon_GeosKernel)->Arg(9)->Arg(64)->Arg(279)->Arg(1024);
+
+void BM_PointLineDistance_FastKernel(benchmark::State& state) {
+  auto line = geom::ReadWkt("LINESTRING (0 0, 30 10, 60 -10, 90 0, 120 20)");
+  auto probes = ProbePoints(256, 3);
+  size_t i = 0;
+  for (auto _ : state) {
+    const geom::Point& p = probes[i++ & 255];
+    benchmark::DoNotOptimize(
+        geom::DistancePointLineString(p, *line));
+  }
+}
+BENCHMARK(BM_PointLineDistance_FastKernel);
+
+void BM_PointLineDistance_GeosKernel(benchmark::State& state) {
+  static const geosim::GeometryFactory factory;
+  geosim::WKTReader reader(&factory);
+  auto line = reader.read("LINESTRING (0 0, 30 10, 60 -10, 90 0, 120 20)");
+  auto probes = ProbePoints(256, 3);
+  size_t i = 0;
+  for (auto _ : state) {
+    const geom::Point& p = probes[i++ & 255];
+    auto point = factory.createPoint(geosim::Coordinate(p.x, p.y));
+    benchmark::DoNotOptimize(point->distance(line->get()));
+  }
+}
+BENCHMARK(BM_PointLineDistance_GeosKernel);
+
+void BM_WktParsePolygon_FastKernel(benchmark::State& state) {
+  std::string wkt = StarPolygonWkt(static_cast<int>(state.range(0)), 5);
+  for (auto _ : state) {
+    auto g = geom::ReadWkt(wkt);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(wkt.size()));
+}
+BENCHMARK(BM_WktParsePolygon_FastKernel)->Arg(9)->Arg(279);
+
+void BM_WktParsePolygon_GeosKernel(benchmark::State& state) {
+  static const geosim::GeometryFactory factory;
+  geosim::WKTReader reader(&factory);
+  std::string wkt = StarPolygonWkt(static_cast<int>(state.range(0)), 5);
+  for (auto _ : state) {
+    auto g = reader.read(wkt);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(wkt.size()));
+}
+BENCHMARK(BM_WktParsePolygon_GeosKernel)->Arg(9)->Arg(279);
+
+void BM_WithinDistanceRefinement_FastKernel(benchmark::State& state) {
+  auto line = geom::ReadWkt("LINESTRING (0 0, 30 10, 60 -10, 90 0)");
+  auto probes = ProbePoints(256, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    const geom::Point& p = probes[i++ & 255];
+    benchmark::DoNotOptimize(geom::WithinDistance(
+        geom::Geometry::MakePoint(p.x, p.y), *line, 25.0));
+  }
+}
+BENCHMARK(BM_WithinDistanceRefinement_FastKernel);
+
+void BM_WithinDistanceRefinement_GeosKernel(benchmark::State& state) {
+  static const geosim::GeometryFactory factory;
+  geosim::WKTReader reader(&factory);
+  auto line = reader.read("LINESTRING (0 0, 30 10, 60 -10, 90 0)");
+  auto probes = ProbePoints(256, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    const geom::Point& p = probes[i++ & 255];
+    auto point = factory.createPoint(geosim::Coordinate(p.x, p.y));
+    benchmark::DoNotOptimize(point->isWithinDistance(line->get(), 25.0));
+  }
+}
+BENCHMARK(BM_WithinDistanceRefinement_GeosKernel);
+
+void BM_PointInPolygon_Prepared(benchmark::State& state) {
+  auto poly = geom::ReadWkt(StarPolygonWkt(static_cast<int>(state.range(0)), 1));
+  geom::PreparedPolygon prepared(*poly, 32);
+  auto probes = ProbePoints(256, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prepared.Contains(probes[i++ & 255]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointInPolygon_Prepared)->Arg(9)->Arg(279)->Arg(1024);
+
+void BM_PreparedPolygonBuild(benchmark::State& state) {
+  auto poly = geom::ReadWkt(StarPolygonWkt(static_cast<int>(state.range(0)), 1));
+  for (auto _ : state) {
+    geom::PreparedPolygon prepared(*poly, 32);
+    benchmark::DoNotOptimize(prepared.BoundaryCellFraction());
+  }
+}
+BENCHMARK(BM_PreparedPolygonBuild)->Arg(279)->Arg(1024);
+
+void BM_WkbParsePolygon(benchmark::State& state) {
+  auto poly = geom::ReadWkt(StarPolygonWkt(static_cast<int>(state.range(0)), 5));
+  std::string hex = geom::WriteWkbHex(*poly);
+  for (auto _ : state) {
+    auto g = geom::ReadWkbHex(hex);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(hex.size() / 2));
+}
+BENCHMARK(BM_WkbParsePolygon)->Arg(9)->Arg(279);
+
+}  // namespace
+}  // namespace cloudjoin
+
+BENCHMARK_MAIN();

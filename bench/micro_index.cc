@@ -1,0 +1,132 @@
+// Index microbenchmarks (google-benchmark): STR-tree bulk load and query
+// versus the dynamic R-tree, the uniform grid, and brute-force filtering —
+// the spatial-filtering side of the paper's filter/refine decomposition.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "index/grid_index.h"
+#include "index/rtree.h"
+#include "index/str_tree.h"
+
+namespace cloudjoin {
+namespace {
+
+using index::RTree;
+using index::StrTree;
+using index::UniformGrid;
+
+std::vector<StrTree::Entry> MakeEntries(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<StrTree::Entry> entries;
+  entries.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    double x = rng.Uniform(0, 10000);
+    double y = rng.Uniform(0, 10000);
+    double w = rng.Uniform(1, 20);
+    entries.push_back(
+        StrTree::Entry{geom::Envelope(x, y, x + w, y + w), i});
+  }
+  return entries;
+}
+
+geom::Envelope RandomQuery(Rng* rng) {
+  double x = rng->Uniform(0, 10000);
+  double y = rng->Uniform(0, 10000);
+  double w = rng->Uniform(10, 100);
+  return geom::Envelope(x, y, x + w, y + w);
+}
+
+void BM_StrTreeBuild(benchmark::State& state) {
+  auto entries = MakeEntries(state.range(0), 11);
+  for (auto _ : state) {
+    StrTree tree(entries);
+    benchmark::DoNotOptimize(tree.height());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StrTreeBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RTreeBuild(benchmark::State& state) {
+  auto entries = MakeEntries(state.range(0), 11);
+  for (auto _ : state) {
+    RTree tree;
+    for (const auto& e : entries) tree.Insert(e.envelope, e.id);
+    benchmark::DoNotOptimize(tree.height());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeBuild)->Arg(1000)->Arg(10000);
+
+void BM_StrTreeQuery(benchmark::State& state) {
+  StrTree tree(MakeEntries(state.range(0), 13));
+  Rng rng(17);
+  int64_t hits = 0;
+  for (auto _ : state) {
+    geom::Envelope q = RandomQuery(&rng);
+    tree.Query(q, [&hits](int64_t) { ++hits; });
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_StrTreeQuery)->Arg(10000)->Arg(100000);
+
+void BM_RTreeQuery(benchmark::State& state) {
+  RTree tree;
+  for (const auto& e : MakeEntries(state.range(0), 13)) {
+    tree.Insert(e.envelope, e.id);
+  }
+  Rng rng(17);
+  int64_t hits = 0;
+  for (auto _ : state) {
+    geom::Envelope q = RandomQuery(&rng);
+    tree.Query(q, [&hits](int64_t) { ++hits; });
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_RTreeQuery)->Arg(10000)->Arg(100000);
+
+void BM_GridQuery(benchmark::State& state) {
+  UniformGrid grid(geom::Envelope(0, 0, 10000, 10000), 64, 64);
+  for (const auto& e : MakeEntries(state.range(0), 13)) {
+    grid.Insert(e.envelope, e.id);
+  }
+  Rng rng(17);
+  int64_t hits = 0;
+  for (auto _ : state) {
+    geom::Envelope q = RandomQuery(&rng);
+    grid.Query(q, [&hits](int64_t) { ++hits; });
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_GridQuery)->Arg(10000)->Arg(100000);
+
+void BM_BruteForceQuery(benchmark::State& state) {
+  auto entries = MakeEntries(state.range(0), 13);
+  Rng rng(17);
+  int64_t hits = 0;
+  for (auto _ : state) {
+    geom::Envelope q = RandomQuery(&rng);
+    for (const auto& e : entries) {
+      if (e.envelope.Intersects(q)) ++hits;
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_BruteForceQuery)->Arg(10000);
+
+void BM_StrTreeNearest(benchmark::State& state) {
+  StrTree tree(MakeEntries(state.range(0), 13));
+  Rng rng(19);
+  for (auto _ : state) {
+    geom::Point p{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+    benchmark::DoNotOptimize(tree.NearestEnvelope(p));
+  }
+}
+BENCHMARK(BM_StrTreeNearest)->Arg(100000);
+
+}  // namespace
+}  // namespace cloudjoin
+
+BENCHMARK_MAIN();

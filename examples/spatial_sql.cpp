@@ -1,0 +1,103 @@
+// Spatial SQL tour: drives the ISP-MC engine the way an analyst would —
+// EXPLAIN plans, scalar ST_* functions, predicates, spatial joins with
+// extra conjuncts, and aggregation over join results (the paper's Fig. 1
+// interface).
+//
+//   ./spatial_sql
+
+#include <cstdio>
+
+#include "data/generators.h"
+#include "dfs/sim_file_system.h"
+#include "impala/runtime.h"
+#include "join/isp_mc_system.h"
+
+using namespace cloudjoin;
+
+namespace {
+
+void RunAndPrint(impala::ImpalaRuntime* runtime, const std::string& sql,
+                 int max_rows = 5) {
+  std::printf("sql> %s\n", sql.c_str());
+  auto result = runtime->Execute(sql);
+  if (!result.ok()) {
+    std::printf("  ERROR: %s\n\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("  ");
+  for (const auto& name : result->column_names) {
+    std::printf("%-18s", name.c_str());
+  }
+  std::printf("\n");
+  int shown = 0;
+  for (const impala::Row& row : result->rows) {
+    if (shown++ >= max_rows) break;
+    std::printf("  ");
+    for (const impala::Value& v : row) {
+      std::string text = impala::ValueToString(v);
+      if (text.size() > 16) text = text.substr(0, 13) + "...";
+      std::printf("%-18s", text.c_str());
+    }
+    std::printf("\n");
+  }
+  if (static_cast<int>(result->rows.size()) > max_rows) {
+    std::printf("  ... (%zu rows total)\n", result->rows.size());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  dfs::SimFileSystem fs(4, 64 * 1024);
+  CLOUDJOIN_CHECK_OK(
+      fs.WriteTextFile("/data/taxi.tsv", data::GenerateTaxiTrips(20000, 51)));
+  CLOUDJOIN_CHECK_OK(fs.WriteTextFile("/data/nycb.tsv",
+                                      data::GenerateCensusBlocks(30, 30, 52)));
+
+  join::IspMcSystem isp(&fs);
+  CLOUDJOIN_CHECK_OK(
+      isp.RegisterTable("taxi", {"/data/taxi.tsv", '\t', 0, 1}).status());
+  CLOUDJOIN_CHECK_OK(
+      isp.RegisterTable("nycb", {"/data/nycb.tsv", '\t', 0, 1}).status());
+  impala::ImpalaRuntime* runtime = isp.runtime();
+
+  // The paper's Fig. 1 query, explained then executed.
+  const std::string fig1 =
+      "SELECT taxi.id, nycb.id FROM taxi SPATIAL JOIN nycb "
+      "WHERE ST_WITHIN(taxi.geom, nycb.geom)";
+  auto explain = runtime->Explain(fig1);
+  CLOUDJOIN_CHECK(explain.ok());
+  std::printf("sql> EXPLAIN %s\n%s\n", fig1.c_str(), explain->c_str());
+  RunAndPrint(runtime, fig1, 3);
+
+  RunAndPrint(runtime, "SELECT COUNT(*) FROM taxi");
+  RunAndPrint(runtime,
+              "SELECT id, ST_X(geom) AS x, ST_Y(geom) AS y FROM taxi "
+              "WHERE id < 3");
+  RunAndPrint(runtime,
+              "SELECT COUNT(*) AS close_to_center FROM taxi WHERE "
+              "ST_DISTANCE(geom, 'POINT (990000 200000)') < 20000");
+  RunAndPrint(runtime,
+              "SELECT nycb.c2, COUNT(*) AS pickups FROM taxi SPATIAL JOIN "
+              "nycb WHERE ST_WITHIN(taxi.geom, nycb.geom) "
+              "GROUP BY nycb.c2 LIMIT 8");
+  RunAndPrint(runtime,
+              "SELECT taxi.id, nycb.id FROM taxi SPATIAL JOIN nycb "
+              "WHERE ST_WITHIN(taxi.geom, nycb.geom) AND taxi.c2 > '4' "
+              "LIMIT 5");
+  // Top-N analytics: busiest census blocks straight from SQL.
+  RunAndPrint(runtime,
+              "SELECT nycb.id, COUNT(*) AS pickups FROM taxi SPATIAL JOIN "
+              "nycb WHERE ST_WITHIN(taxi.geom, nycb.geom) GROUP BY nycb.id "
+              "HAVING COUNT(*) > 10 ORDER BY COUNT(*) DESC LIMIT 5");
+  // Distinct passenger-count values per block zone label.
+  RunAndPrint(runtime,
+              "SELECT nycb.c2, COUNT(DISTINCT taxi.c2) AS pax_kinds "
+              "FROM taxi SPATIAL JOIN nycb "
+              "WHERE ST_WITHIN(taxi.geom, nycb.geom) GROUP BY nycb.c2 "
+              "ORDER BY nycb.c2 LIMIT 5");
+  // Error handling is part of the interface too.
+  RunAndPrint(runtime, "SELECT missing_column FROM taxi");
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "common/counters.h"
+
+#include <sstream>
+
+namespace cloudjoin {
+
+void Counters::Add(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_[name] += delta;
+}
+
+int64_t Counters::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = values_.find(name);
+  return it == values_.end() ? 0 : it->second;
+}
+
+void Counters::MergeFrom(const Counters& other) {
+  auto snapshot = other.Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, value] : snapshot) values_[name] += value;
+}
+
+std::map<std::string, int64_t> Counters::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return values_;
+}
+
+std::string Counters::ToString() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : Snapshot()) {
+    os << "  " << name << " = " << value << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cloudjoin

@@ -1,0 +1,52 @@
+#ifndef CLOUDJOIN_COMMON_COUNTERS_H_
+#define CLOUDJOIN_COMMON_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace cloudjoin {
+
+/// A named bag of additive metrics (records scanned, geometry tests run,
+/// candidate pairs, bytes broadcast, ...). Engines fill one per run; the
+/// benchmark harnesses print them so readers can audit where time went.
+class Counters {
+ public:
+  Counters() = default;
+
+  // Copyable via snapshot (the mutex itself is not copied). Moves fall back
+  // to copies, which keeps Counters embeddable in movable metric structs.
+  Counters(const Counters& other) : values_(other.Snapshot()) {}
+  Counters& operator=(const Counters& other) {
+    if (this != &other) {
+      auto snapshot = other.Snapshot();
+      std::lock_guard<std::mutex> lock(mu_);
+      values_ = std::move(snapshot);
+    }
+    return *this;
+  }
+
+  /// Adds `delta` to counter `name` (creating it at zero).
+  void Add(const std::string& name, int64_t delta);
+
+  /// Current value of `name` (0 if never touched).
+  int64_t Get(const std::string& name) const;
+
+  /// Merges all counters from `other` into this.
+  void MergeFrom(const Counters& other);
+
+  /// Snapshot of all counters, sorted by name.
+  std::map<std::string, int64_t> Snapshot() const;
+
+  /// Multi-line "  name = value" rendering.
+  std::string ToString() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> values_;
+};
+
+}  // namespace cloudjoin
+
+#endif  // CLOUDJOIN_COMMON_COUNTERS_H_

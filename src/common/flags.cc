@@ -1,0 +1,51 @@
+#include "common/flags.h"
+
+#include "common/strings.h"
+
+namespace cloudjoin {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string body = arg.substr(2);
+      size_t eq = body.find('=');
+      if (eq == std::string::npos) {
+        values_[body] = "true";
+      } else {
+        values_[body.substr(0, eq)] = body.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  auto parsed = ParseInt64(it->second);
+  return parsed.ok() ? *parsed : fallback;
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  auto parsed = ParseDouble(it->second);
+  return parsed.ok() ? *parsed : fallback;
+}
+
+bool Flags::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes";
+}
+
+}  // namespace cloudjoin

@@ -1,0 +1,39 @@
+#ifndef CLOUDJOIN_COMMON_FLAGS_H_
+#define CLOUDJOIN_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cloudjoin {
+
+/// Minimal `--key=value` / `--flag` command-line parser for the benchmark
+/// harnesses and examples.
+class Flags {
+ public:
+  /// Parses argv; unrecognized positional arguments are kept in order.
+  Flags(int argc, char** argv);
+
+  /// String value of `--name=...`, or `fallback` if absent.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+
+  /// Integer value of `--name=...`, or `fallback` if absent/invalid.
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+
+  /// Double value of `--name=...`, or `fallback` if absent/invalid.
+  double GetDouble(const std::string& name, double fallback) const;
+
+  /// True if `--name` or `--name=true/1/yes` was passed.
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cloudjoin
+
+#endif  // CLOUDJOIN_COMMON_FLAGS_H_

@@ -1,0 +1,81 @@
+#ifndef CLOUDJOIN_COMMON_LOGGING_H_
+#define CLOUDJOIN_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cloudjoin {
+
+/// Log severity levels, in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level actually emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log message; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define CLOUDJOIN_LOG(level)                                          \
+  ::cloudjoin::internal_logging::LogMessage(                          \
+      ::cloudjoin::LogLevel::k##level, __FILE__, __LINE__)            \
+      .stream()
+
+/// Aborts the process with a message if `cond` is false. For programmer
+/// errors (broken invariants), not for recoverable conditions — those use
+/// Status.
+#define CLOUDJOIN_CHECK(cond)                                          \
+  if (!(cond))                                                         \
+  ::cloudjoin::internal_logging::FatalLogMessage(__FILE__, __LINE__)   \
+          .stream()                                                    \
+      << "Check failed: " #cond " "
+
+#define CLOUDJOIN_CHECK_OK(expr)                                       \
+  if (::cloudjoin::Status _st = (expr); !_st.ok())                     \
+  ::cloudjoin::internal_logging::FatalLogMessage(__FILE__, __LINE__)   \
+          .stream()                                                    \
+      << "Status not OK: " << _st.ToString() << " "
+
+#ifndef NDEBUG
+#define CLOUDJOIN_DCHECK(cond) CLOUDJOIN_CHECK(cond)
+#else
+#define CLOUDJOIN_DCHECK(cond) \
+  if (false) CLOUDJOIN_CHECK(cond)
+#endif
+
+}  // namespace cloudjoin
+
+#endif  // CLOUDJOIN_COMMON_LOGGING_H_

@@ -1,0 +1,82 @@
+#ifndef CLOUDJOIN_COMMON_RESULT_H_
+#define CLOUDJOIN_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace cloudjoin {
+
+/// Holds either a value of type `T` or an error `Status`.
+///
+/// This is the value-returning companion of `Status`. Access to the value of
+/// a non-OK result aborts the process (programmer error), so callers must
+/// test `ok()` first or use `value_or()`.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a result holding `value`. Intentionally implicit so
+  /// functions can `return value;`.
+  Result(T value) : value_(std::move(value)) {}
+
+  /// Constructs a result holding a non-OK status. Intentionally implicit so
+  /// functions can `return Status::...;`. Aborts if `status` is OK: an OK
+  /// result must carry a value.
+  Result(Status status) : status_(std::move(status)) {
+    CLOUDJOIN_CHECK(!status_.ok());
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CLOUDJOIN_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    CLOUDJOIN_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    CLOUDJOIN_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the held value, or `fallback` if this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status,
+/// otherwise moves the value into `lhs`.
+#define CLOUDJOIN_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  CLOUDJOIN_ASSIGN_OR_RETURN_IMPL_(                     \
+      CLOUDJOIN_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define CLOUDJOIN_CONCAT_INNER_(a, b) a##b
+#define CLOUDJOIN_CONCAT_(a, b) CLOUDJOIN_CONCAT_INNER_(a, b)
+#define CLOUDJOIN_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                     \
+  if (!tmp.ok()) return tmp.status();                     \
+  lhs = std::move(tmp).value()
+
+}  // namespace cloudjoin
+
+#endif  // CLOUDJOIN_COMMON_RESULT_H_

@@ -1,0 +1,102 @@
+#ifndef CLOUDJOIN_COMMON_STATUS_H_
+#define CLOUDJOIN_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace cloudjoin {
+
+/// Canonical error codes, modeled after the usual database-engine set.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+  kIoError,
+  kResourceExhausted,
+};
+
+/// Returns the canonical lowercase name of `code` (e.g. "invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value used instead of exceptions.
+///
+/// The OK status carries no message and is cheap to copy. Error statuses
+/// carry a code and a human-readable message. Functions that can fail
+/// return `Status` (or `Result<T>` when they also produce a value); callers
+/// must check `ok()` before relying on side effects.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define CLOUDJOIN_RETURN_IF_ERROR(expr)          \
+  do {                                           \
+    ::cloudjoin::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+}  // namespace cloudjoin
+
+#endif  // CLOUDJOIN_COMMON_STATUS_H_

@@ -1,0 +1,68 @@
+#ifndef CLOUDJOIN_COMMON_STOPWATCH_H_
+#define CLOUDJOIN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <ctime>
+#include <cstdint>
+
+namespace cloudjoin {
+
+/// Monotonic wall-clock stopwatch with nanosecond resolution.
+///
+/// Used to meter real per-task compute so the cluster simulator can replay
+/// measured durations under different schedules.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction or the last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// CPU-time stopwatch for the *calling thread*.
+///
+/// Task metering uses this instead of wall clock: hypervisor steal time
+/// and scheduling noise on shared machines do not count against thread CPU
+/// time, so measured per-task durations are stable across runs. All engine
+/// task execution in this codebase is single-threaded per task, which
+/// makes thread CPU time the right measure of its compute.
+class CpuTimer {
+ public:
+  CpuTimer() { Restart(); }
+
+  void Restart() { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &start_); }
+
+  double ElapsedSeconds() const {
+    timespec now;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &now);
+    return static_cast<double>(now.tv_sec - start_.tv_sec) +
+           1e-9 * static_cast<double>(now.tv_nsec - start_.tv_nsec);
+  }
+
+ private:
+  timespec start_;
+};
+
+}  // namespace cloudjoin
+
+#endif  // CLOUDJOIN_COMMON_STOPWATCH_H_

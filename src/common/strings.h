@@ -1,0 +1,43 @@
+#ifndef CLOUDJOIN_COMMON_STRINGS_H_
+#define CLOUDJOIN_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cloudjoin {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string_view> StrSplit(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// True if `text` starts with `prefix` ignoring ASCII case.
+bool StartsWithIgnoreCase(std::string_view text, std::string_view prefix);
+
+/// ASCII upper-case copy.
+std::string AsciiToUpper(std::string_view text);
+
+/// Parses a double from the whole of `text` (no trailing junk allowed).
+Result<double> ParseDouble(std::string_view text);
+
+/// Parses a signed 64-bit integer from the whole of `text`.
+Result<int64_t> ParseInt64(std::string_view text);
+
+/// Formats a double with up to `precision` significant decimal digits,
+/// trimming trailing zeros ("1.5", "40.75", "-73.98123").
+std::string FormatDouble(double value, int precision = 10);
+
+/// Formats a byte count as a human-readable string ("6.9 GB").
+std::string FormatBytes(int64_t bytes);
+
+}  // namespace cloudjoin
+
+#endif  // CLOUDJOIN_COMMON_STRINGS_H_

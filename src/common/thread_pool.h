@@ -1,0 +1,53 @@
+#ifndef CLOUDJOIN_COMMON_THREAD_POOL_H_
+#define CLOUDJOIN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cloudjoin {
+
+/// Fixed-size worker pool executing queued closures.
+///
+/// Used by the engines for functional (real) parallelism; the *simulated*
+/// cluster parallelism is handled separately by `sim::` schedulers so that
+/// results do not depend on the host machine's core count.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` for execution.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until all submitted work has completed.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) on `pool`, blocking until done.
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t)>& fn);
+
+}  // namespace cloudjoin
+
+#endif  // CLOUDJOIN_COMMON_THREAD_POOL_H_

@@ -1,0 +1,47 @@
+#include "data/convert.h"
+
+#include <vector>
+
+#include "common/strings.h"
+#include "geom/wkb.h"
+#include "geom/wkt.h"
+
+namespace cloudjoin::data {
+
+Result<join::TableInput> ConvertGeometryColumnToWkbHex(
+    dfs::SimFileSystem* fs, const join::TableInput& src,
+    const std::string& dst_path) {
+  if (src.encoding != join::GeometryEncoding::kWkt) {
+    return Status::InvalidArgument("source table must be WKT-encoded");
+  }
+  CLOUDJOIN_ASSIGN_OR_RETURN(const dfs::SimFile* file, fs->GetFile(src.path));
+
+  std::vector<std::string> out_lines;
+  dfs::LineRecordReader reader(file->data(), 0, file->size());
+  std::string_view line;
+  while (reader.Next(&line)) {
+    std::vector<std::string_view> fields = StrSplit(line, src.separator);
+    if (static_cast<int>(fields.size()) <= src.geometry_column) continue;
+    auto parsed = geom::ReadWkt(fields[src.geometry_column]);
+    if (!parsed.ok()) continue;
+    std::string hex = geom::WriteWkbHex(*parsed);
+    std::string out;
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out.push_back(src.separator);
+      if (static_cast<int>(i) == src.geometry_column) {
+        out.append(hex);
+      } else {
+        out.append(fields[i]);
+      }
+    }
+    out_lines.push_back(std::move(out));
+  }
+  CLOUDJOIN_RETURN_IF_ERROR(fs->WriteTextFile(dst_path, out_lines));
+
+  join::TableInput dst = src;
+  dst.path = dst_path;
+  dst.encoding = join::GeometryEncoding::kWkbHex;
+  return dst;
+}
+
+}  // namespace cloudjoin::data

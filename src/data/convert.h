@@ -1,0 +1,26 @@
+#ifndef CLOUDJOIN_DATA_CONVERT_H_
+#define CLOUDJOIN_DATA_CONVERT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "dfs/sim_file_system.h"
+#include "join/table_input.h"
+
+namespace cloudjoin::data {
+
+/// Rewrites the WKT geometry column of a delimited text table as
+/// hex-encoded WKB, writing the result to `dst_path`. Returns the
+/// TableInput describing the converted table (same columns, binary
+/// encoding). Malformed rows are dropped (counted in the DFS as absent
+/// lines), mirroring the engines' parse-failure filtering.
+///
+/// This is the storage-side half of the paper's future-work item of
+/// moving SpatialSpark from text to binary geometry representation.
+Result<join::TableInput> ConvertGeometryColumnToWkbHex(
+    dfs::SimFileSystem* fs, const join::TableInput& src,
+    const std::string& dst_path);
+
+}  // namespace cloudjoin::data
+
+#endif  // CLOUDJOIN_DATA_CONVERT_H_

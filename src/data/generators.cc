@@ -1,0 +1,360 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "geom/point.h"
+
+namespace cloudjoin::data {
+
+namespace {
+
+/// Continent-like patches (lon center, lat center, spread in degrees),
+/// shared by the ecoregion and species generators so occurrences land on
+/// regions.
+struct Patch {
+  double lon;
+  double lat;
+  double spread;
+};
+
+constexpr Patch kContinents[] = {
+    {-100.0, 45.0, 18.0},  // North America
+    {-60.0, -15.0, 14.0},  // South America
+    {20.0, 5.0, 18.0},     // Africa
+    {15.0, 50.0, 10.0},    // Europe
+    {90.0, 45.0, 20.0},    // Asia
+    {110.0, -2.0, 10.0},   // Maritime Southeast Asia
+    {134.0, -24.0, 10.0},  // Australia
+};
+constexpr int kNumContinents = 7;
+
+void AppendCoord(double x, double y, std::string* wkt) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g %.10g", x, y);
+  wkt->append(buf);
+}
+
+std::string MakeLine(int64_t id, const std::string& wkt,
+                     const std::string& attr) {
+  std::string line = std::to_string(id);
+  line.push_back('\t');
+  line.append(wkt);
+  line.push_back('\t');
+  line.append(attr);
+  return line;
+}
+
+}  // namespace
+
+geom::Envelope NycExtent() {
+  return geom::Envelope(913000.0, 120000.0, 1068000.0, 273000.0);
+}
+
+geom::Envelope WorldExtent() {
+  return geom::Envelope(-180.0, -60.0, 180.0, 75.0);
+}
+
+std::vector<std::string> GenerateCensusBlocks(int cols, int rows,
+                                              uint64_t seed) {
+  CLOUDJOIN_CHECK(cols >= 1);
+  CLOUDJOIN_CHECK(rows >= 1);
+  Rng rng(seed);
+  const geom::Envelope extent = NycExtent();
+  const double dx = extent.Width() / cols;
+  const double dy = extent.Height() / rows;
+  const double jitter = 0.22 * std::min(dx, dy);
+
+  // Shared perturbed grid vertices: corners, horizontal-edge midpoints,
+  // vertical-edge midpoints. Sharing keeps the cells an exact tiling.
+  auto corner_index = [cols](int i, int j) { return j * (cols + 1) + i; };
+  std::vector<geom::Point> corners(
+      static_cast<size_t>((cols + 1) * (rows + 1)));
+  for (int j = 0; j <= rows; ++j) {
+    for (int i = 0; i <= cols; ++i) {
+      // Vertices on the extent boundary stay pinned along that axis so the
+      // blocks cover the extent exactly (no gaps at the city edge).
+      double jx = (i == 0 || i == cols) ? 0.0 : rng.Uniform(-jitter, jitter);
+      double jy = (j == 0 || j == rows) ? 0.0 : rng.Uniform(-jitter, jitter);
+      double px = extent.min_x() + i * dx + jx;
+      double py = extent.min_y() + j * dy + jy;
+      corners[static_cast<size_t>(corner_index(i, j))] = geom::Point{px, py};
+    }
+  }
+  auto hmid_index = [cols](int i, int j) { return j * cols + i; };
+  std::vector<geom::Point> hmids(static_cast<size_t>(cols * (rows + 1)));
+  for (int j = 0; j <= rows; ++j) {
+    for (int i = 0; i < cols; ++i) {
+      const geom::Point& a = corners[static_cast<size_t>(corner_index(i, j))];
+      const geom::Point& b =
+          corners[static_cast<size_t>(corner_index(i + 1, j))];
+      double jy = (j == 0 || j == rows) ? 0.0
+                                        : rng.Uniform(-jitter, jitter) * 0.5;
+      hmids[static_cast<size_t>(hmid_index(i, j))] =
+          geom::Point{(a.x + b.x) * 0.5 + rng.Uniform(-jitter, jitter) * 0.5,
+                      (a.y + b.y) * 0.5 + jy};
+    }
+  }
+  auto vmid_index = [cols](int i, int j) { return j * (cols + 1) + i; };
+  std::vector<geom::Point> vmids(static_cast<size_t>((cols + 1) * rows));
+  for (int j = 0; j < rows; ++j) {
+    for (int i = 0; i <= cols; ++i) {
+      const geom::Point& a = corners[static_cast<size_t>(corner_index(i, j))];
+      const geom::Point& b =
+          corners[static_cast<size_t>(corner_index(i, j + 1))];
+      double jx = (i == 0 || i == cols) ? 0.0
+                                        : rng.Uniform(-jitter, jitter) * 0.5;
+      vmids[static_cast<size_t>(vmid_index(i, j))] =
+          geom::Point{(a.x + b.x) * 0.5 + jx,
+                      (a.y + b.y) * 0.5 + rng.Uniform(-jitter, jitter) * 0.5};
+    }
+  }
+
+  static const char* kZones[] = {"MN", "BK", "QN", "BX", "SI"};
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<size_t>(cols) * rows);
+  int64_t id = 0;
+  for (int j = 0; j < rows; ++j) {
+    for (int i = 0; i < cols; ++i) {
+      // Counter-clockwise ring: bottom, right, top, left edges with their
+      // shared midpoints; 8 distinct vertices + closing repeat = 9.
+      const geom::Point ring[8] = {
+          corners[static_cast<size_t>(corner_index(i, j))],
+          hmids[static_cast<size_t>(hmid_index(i, j))],
+          corners[static_cast<size_t>(corner_index(i + 1, j))],
+          vmids[static_cast<size_t>(vmid_index(i + 1, j))],
+          corners[static_cast<size_t>(corner_index(i + 1, j + 1))],
+          hmids[static_cast<size_t>(hmid_index(i, j + 1))],
+          corners[static_cast<size_t>(corner_index(i, j + 1))],
+          vmids[static_cast<size_t>(vmid_index(i, j))],
+      };
+      std::string wkt = "POLYGON ((";
+      for (int k = 0; k < 8; ++k) {
+        AppendCoord(ring[k].x, ring[k].y, &wkt);
+        wkt.append(", ");
+      }
+      AppendCoord(ring[0].x, ring[0].y, &wkt);
+      wkt.append("))");
+      lines.push_back(MakeLine(
+          id, wkt, std::string(kZones[(i * 5) / std::max(cols, 1)]) +
+                       std::to_string(id)));
+      ++id;
+    }
+  }
+  return lines;
+}
+
+std::vector<std::string> GenerateTaxiTrips(int64_t count, uint64_t seed) {
+  Rng rng(seed);
+  const geom::Envelope extent = NycExtent();
+
+  // Manhattan-like hotspot band in the upper-middle of the extent.
+  constexpr int kHotspots = 20;
+  double hx[kHotspots], hy[kHotspots], hs[kHotspots];
+  for (int k = 0; k < kHotspots; ++k) {
+    hx[k] = rng.Uniform(975000.0, 1012000.0);
+    hy[k] = rng.Uniform(185000.0, 260000.0);
+    hs[k] = rng.Uniform(1200.0, 4500.0);
+  }
+
+  // Pickups happen on streets: most points are snapped near the nominal
+  // street grid (the same ~316x316 grid GenerateStreets lays out at its
+  // default 200k-segment size), with GPS jitter. This is what makes the
+  // NearestD joins refinement-heavy, as with the real LION data.
+  const int grid = 316;
+  const double street_dx = extent.Width() / grid;
+  const double street_dy = extent.Height() / grid;
+
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<size_t>(count));
+  for (int64_t id = 0; id < count; ++id) {
+    double x, y;
+    double mode = rng.NextDouble();
+    if (mode < 0.70) {
+      int k = static_cast<int>(rng.UniformInt(kHotspots));
+      x = rng.Normal(hx[k], hs[k]);
+      y = rng.Normal(hy[k], hs[k]);
+    } else if (mode < 0.95) {
+      x = rng.Uniform(extent.min_x(), extent.max_x());
+      y = rng.Uniform(extent.min_y(), extent.max_y());
+    } else {
+      // GPS noise, possibly outside the city (joins drop these).
+      x = rng.Uniform(extent.min_x() - 15000.0, extent.max_x() + 15000.0);
+      y = rng.Uniform(extent.min_y() - 15000.0, extent.max_y() + 15000.0);
+    }
+    if (mode < 0.85) {
+      // Snap one axis to the nearest street line plus curb-side jitter.
+      if (rng.Bernoulli(0.5)) {
+        double row = std::round((y - extent.min_y()) / street_dy);
+        y = extent.min_y() + row * street_dy + rng.Uniform(-40.0, 40.0);
+      } else {
+        double col = std::round((x - extent.min_x()) / street_dx);
+        x = extent.min_x() + col * street_dx + rng.Uniform(-40.0, 40.0);
+      }
+    }
+    std::string wkt = "POINT (";
+    AppendCoord(x, y, &wkt);
+    wkt.push_back(')');
+    lines.push_back(
+        MakeLine(id, wkt, std::to_string(1 + rng.UniformInt(6))));
+  }
+  return lines;
+}
+
+std::vector<std::string> GenerateStreets(int64_t count, uint64_t seed) {
+  Rng rng(seed);
+  const geom::Envelope extent = NycExtent();
+  // A g x g street grid yields ~2*g^2 block-length segments.
+  const int g = std::max(
+      2, static_cast<int>(std::ceil(std::sqrt(static_cast<double>(count) /
+                                              2.0))));
+  const double dx = extent.Width() / g;
+  const double dy = extent.Height() / g;
+
+  static const char* kClasses[] = {"A", "B", "C"};
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<size_t>(count));
+  int64_t id = 0;
+  for (int j = 0; j <= g && id < count; ++j) {
+    for (int i = 0; i < g && id < count; ++i) {
+      // Horizontal segment of street row j, block i.
+      double x0 = extent.min_x() + i * dx;
+      double y0 = extent.min_y() + j * dy;
+      std::string wkt = "LINESTRING (";
+      int extra = static_cast<int>(rng.UniformInt(3));  // 0..2 bends
+      AppendCoord(x0 + rng.Uniform(-25, 25), y0 + rng.Uniform(-40, 40), &wkt);
+      for (int e = 1; e <= extra; ++e) {
+        wkt.append(", ");
+        AppendCoord(x0 + dx * e / (extra + 1.0), y0 + rng.Uniform(-40, 40),
+                    &wkt);
+      }
+      wkt.append(", ");
+      AppendCoord(x0 + dx + rng.Uniform(-25, 25), y0 + rng.Uniform(-40, 40),
+                  &wkt);
+      wkt.push_back(')');
+      lines.push_back(
+          MakeLine(id, wkt, kClasses[rng.UniformInt(3)]));
+      ++id;
+
+      if (id >= count) break;
+      // Vertical segment of street column i, block j (while in range).
+      if (j < g) {
+        double vx = extent.min_x() + i * dx;
+        double vy = extent.min_y() + j * dy;
+        std::string vwkt = "LINESTRING (";
+        AppendCoord(vx + rng.Uniform(-40, 40), vy + rng.Uniform(-25, 25),
+                    &vwkt);
+        int vextra = static_cast<int>(rng.UniformInt(3));
+        for (int e = 1; e <= vextra; ++e) {
+          vwkt.append(", ");
+          AppendCoord(vx + rng.Uniform(-40, 40), vy + dy * e / (vextra + 1.0),
+                      &vwkt);
+        }
+        vwkt.append(", ");
+        AppendCoord(vx + rng.Uniform(-40, 40), vy + dy + rng.Uniform(-25, 25),
+                    &vwkt);
+        vwkt.push_back(')');
+        lines.push_back(MakeLine(id, vwkt, kClasses[rng.UniformInt(3)]));
+        ++id;
+      }
+    }
+  }
+  return lines;
+}
+
+std::vector<std::string> GenerateEcoregions(int count, uint64_t seed,
+                                            int mean_vertices) {
+  Rng rng(seed);
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<size_t>(count));
+  for (int64_t id = 0; id < count; ++id) {
+    const Patch& patch = kContinents[rng.UniformInt(kNumContinents)];
+    double cx = rng.Normal(patch.lon, patch.spread * 0.85);
+    double cy = rng.Normal(patch.lat, patch.spread * 0.6);
+    cy = std::clamp(cy, -58.0, 73.0);
+
+    // Log-normal size: most regions are small, a few continental. Sized so
+    // the full 14,458 regions cover roughly one world-land-area in total
+    // and overlap only 1-2 deep even inside the continental clusters (real
+    // ecoregions tile the land), keeping filter candidate counts per point
+    // realistic.
+    double radius = std::clamp(0.3 * std::exp(rng.Normal(0.0, 0.8)), 0.06,
+                               10.0);
+    // Log-normal vertex count centered on mean_vertices (mean of
+    // exp(N(0, 0.7)) is ~1.28, hence the 0.78 correction).
+    int vertices = static_cast<int>(
+        0.78 * mean_vertices * std::exp(rng.Normal(0.0, 0.7)));
+    vertices = std::clamp(vertices, 16, 4 * mean_vertices);
+
+    // Star-shaped boundary with sinusoidal noise (always simple).
+    double p1 = rng.Uniform(0, 6.283185307179586);
+    double p2 = rng.Uniform(0, 6.283185307179586);
+    double p3 = rng.Uniform(0, 6.283185307179586);
+    std::string wkt = "POLYGON ((";
+    double first_x = 0, first_y = 0;
+    for (int v = 0; v < vertices; ++v) {
+      double theta = 6.283185307179586 * v / vertices;
+      double r = radius * (1.0 + 0.25 * std::sin(3 * theta + p1) +
+                           0.15 * std::sin(7 * theta + p2) +
+                           0.08 * std::sin(13 * theta + p3));
+      double x = cx + r * std::cos(theta);
+      double y = cy + 0.7 * r * std::sin(theta);  // flattened N-S
+      if (v == 0) {
+        first_x = x;
+        first_y = y;
+      } else {
+        wkt.append(", ");
+      }
+      AppendCoord(x, y, &wkt);
+    }
+    wkt.append(", ");
+    AppendCoord(first_x, first_y, &wkt);
+    wkt.append("))");
+    lines.push_back(
+        MakeLine(id, wkt, "biome" + std::to_string(rng.UniformInt(14))));
+  }
+  return lines;
+}
+
+std::vector<std::string> GenerateSpeciesOccurrences(int64_t count,
+                                                    uint64_t seed) {
+  Rng rng(seed);
+  // Biodiversity hotspots on the continents.
+  constexpr int kHotspots = 40;
+  double hx[kHotspots], hy[kHotspots];
+  for (int k = 0; k < kHotspots; ++k) {
+    const Patch& patch = kContinents[rng.UniformInt(kNumContinents)];
+    hx[k] = rng.Normal(patch.lon, patch.spread * 0.4);
+    hy[k] = std::clamp(rng.Normal(patch.lat, patch.spread * 0.3), -58.0, 73.0);
+  }
+
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<size_t>(count));
+  for (int64_t id = 0; id < count; ++id) {
+    double x, y;
+    if (rng.NextDouble() < 0.9) {
+      // Skewed hotspot choice: low-index hotspots dominate.
+      int k = static_cast<int>(kHotspots * rng.NextDouble() *
+                               rng.NextDouble());
+      k = std::min(k, kHotspots - 1);
+      x = rng.Normal(hx[k], 2.0);
+      y = std::clamp(rng.Normal(hy[k], 1.5), -60.0, 75.0);
+    } else {
+      x = rng.Uniform(-180.0, 180.0);
+      y = rng.Uniform(-60.0, 75.0);
+    }
+    std::string wkt = "POINT (";
+    AppendCoord(x, y, &wkt);
+    wkt.push_back(')');
+    // Zipf-ish species id: small ids are common.
+    int64_t species =
+        static_cast<int64_t>(std::pow(2000.0, rng.NextDouble()));
+    lines.push_back(MakeLine(id, wkt, "sp" + std::to_string(species)));
+  }
+  return lines;
+}
+
+}  // namespace cloudjoin::data

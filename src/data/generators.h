@@ -1,0 +1,60 @@
+#ifndef CLOUDJOIN_DATA_GENERATORS_H_
+#define CLOUDJOIN_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/envelope.h"
+
+namespace cloudjoin::data {
+
+/// Spatial frames of the synthetic datasets.
+///
+/// NYC datasets use a New-York-State-Plane-like projected frame in FEET
+/// (x ~ 913k..1068k, y ~ 120k..273k) so the paper's NearestD distances of
+/// 100 and 500 feet are used verbatim. Global datasets use lon/lat degrees.
+geom::Envelope NycExtent();
+geom::Envelope WorldExtent();
+
+/// All generators emit tab-separated lines: `id \t WKT \t attribute`, with
+/// ids equal to the line number — which makes SpatialSpark's zipWithIndex
+/// ids and ISP-MC's id column agree, so join results are comparable across
+/// systems. Every generator is deterministic in `seed`.
+
+/// NYC census blocks (the paper's `nycb`, ~40k polygons averaging ~9
+/// vertices): a perturbed grid whose cells share corner and edge-midpoint
+/// vertices, so the polygons tile the extent exactly (no gaps/overlaps —
+/// each interior point falls in exactly one block). `cols` x `rows` cells.
+/// Attribute: borough-like zone label.
+std::vector<std::string> GenerateCensusBlocks(int cols, int rows,
+                                              uint64_t seed);
+
+/// NYC taxi pickup points (the paper's `taxi`): a mixture of Manhattan-like
+/// Gaussian hotspots (70 %), uniform city-wide traffic (25 %), and GPS
+/// noise that may fall outside the city (5 %) — the skew is what stresses
+/// static scheduling. Attribute: passenger count 1..6.
+std::vector<std::string> GenerateTaxiTrips(int64_t count, uint64_t seed);
+
+/// NYC street polylines (the paper's `lion`, ~200k segments): a jittered
+/// street grid; each street is a polyline of 2-5 vertices following a grid
+/// line with lateral noise. Attribute: street class (A/B/C).
+std::vector<std::string> GenerateStreets(int64_t count, uint64_t seed);
+
+/// Global terrestrial ecoregions (the paper's `wwf`: 14,458 polygons,
+/// 279 vertices each on average): star-shaped blobs with sinusoidal
+/// boundary noise, clustered on continent-like patches, log-normal sizes
+/// (a few continental-scale regions dominate coverage). `mean_vertices`
+/// tunes boundary complexity. Attribute: biome id.
+std::vector<std::string> GenerateEcoregions(int count, uint64_t seed,
+                                            int mean_vertices = 279);
+
+/// GBIF species occurrences (the paper's `G10M` subset): points clustered
+/// around biodiversity hotspots on the same continent patches as the
+/// ecoregions. Attribute: species id (Zipf-ish skew).
+std::vector<std::string> GenerateSpeciesOccurrences(int64_t count,
+                                                    uint64_t seed);
+
+}  // namespace cloudjoin::data
+
+#endif  // CLOUDJOIN_DATA_GENERATORS_H_

@@ -1,0 +1,60 @@
+#include "data/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/generators.h"
+
+namespace cloudjoin::data {
+
+Result<WorkloadSuite> MaterializeWorkloads(dfs::SimFileSystem* fs,
+                                           double scale, uint64_t seed) {
+  if (scale <= 0) return Status::InvalidArgument("scale must be positive");
+  WorkloadSuite suite;
+
+  // Point sides scale with `scale`; the polygon/polyline sides are full
+  // size already (they are small in the paper too: 18.7 MB / 29 MB /
+  // 149.8 MB vs 6.9 GB of taxi points).
+  suite.taxi_count = std::max<int64_t>(1000, static_cast<int64_t>(120000 * scale));
+  suite.gbif_count = std::max<int64_t>(1000, static_cast<int64_t>(50000 * scale));
+  // Census grid: ~40k blocks at scale >= 1, shrinking gently below.
+  int census_side = std::clamp(
+      static_cast<int>(200 * std::sqrt(std::min(scale, 1.0))), 24, 200);
+  suite.nycb_count = static_cast<int64_t>(census_side) * census_side;
+  suite.lion_count = std::max<int64_t>(
+      2000, static_cast<int64_t>(200000 * std::min(scale, 1.0)));
+  suite.wwf_count = std::max<int64_t>(
+      500, static_cast<int64_t>(14458 * std::min(scale, 1.0)));
+
+  CLOUDJOIN_RETURN_IF_ERROR(fs->WriteTextFile(
+      "/data/taxi.tsv", GenerateTaxiTrips(suite.taxi_count, seed + 1)));
+  CLOUDJOIN_RETURN_IF_ERROR(fs->WriteTextFile(
+      "/data/nycb.tsv",
+      GenerateCensusBlocks(census_side, census_side, seed + 2)));
+  CLOUDJOIN_RETURN_IF_ERROR(fs->WriteTextFile(
+      "/data/lion.tsv", GenerateStreets(suite.lion_count, seed + 3)));
+  CLOUDJOIN_RETURN_IF_ERROR(fs->WriteTextFile(
+      "/data/g10m.tsv",
+      GenerateSpeciesOccurrences(suite.gbif_count, seed + 4)));
+  CLOUDJOIN_RETURN_IF_ERROR(fs->WriteTextFile(
+      "/data/wwf.tsv",
+      GenerateEcoregions(static_cast<int>(suite.wwf_count), seed + 5)));
+
+  join::TableInput taxi{"/data/taxi.tsv", '\t', 0, 1};
+  join::TableInput nycb{"/data/nycb.tsv", '\t', 0, 1};
+  join::TableInput lion{"/data/lion.tsv", '\t', 0, 1};
+  join::TableInput g10m{"/data/g10m.tsv", '\t', 0, 1};
+  join::TableInput wwf{"/data/wwf.tsv", '\t', 0, 1};
+
+  suite.taxi_nycb =
+      Workload{"taxi-nycb", taxi, nycb, join::SpatialPredicate::Within()};
+  suite.taxi_lion_100 = Workload{"taxi-lion-100", taxi, lion,
+                                 join::SpatialPredicate::NearestD(100.0)};
+  suite.taxi_lion_500 = Workload{"taxi-lion-500", taxi, lion,
+                                 join::SpatialPredicate::NearestD(500.0)};
+  suite.g10m_wwf =
+      Workload{"G10M-wwf", g10m, wwf, join::SpatialPredicate::Within()};
+  return suite;
+}
+
+}  // namespace cloudjoin::data

@@ -1,0 +1,134 @@
+#include "dfs/sim_file_system.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cloudjoin::dfs {
+
+SimFileSystem::SimFileSystem(int num_nodes, int64_t block_size,
+                             int replication, uint64_t seed)
+    : num_nodes_(num_nodes),
+      block_size_(block_size),
+      replication_(std::min(replication, num_nodes)),
+      rng_(seed) {
+  CLOUDJOIN_CHECK(num_nodes_ >= 1);
+  CLOUDJOIN_CHECK(block_size_ >= 1);
+  CLOUDJOIN_CHECK(replication_ >= 1);
+}
+
+std::vector<BlockInfo> SimFileSystem::AssignBlocks(int64_t file_size) {
+  std::vector<BlockInfo> blocks;
+  for (int64_t offset = 0; offset < file_size; offset += block_size_) {
+    BlockInfo block;
+    block.offset = offset;
+    block.length = std::min(block_size_, file_size - offset);
+    // HDFS-style placement: primary replica round-robin (stands in for the
+    // writer's node), remaining replicas on random distinct nodes.
+    int primary = next_node_;
+    next_node_ = (next_node_ + 1) % num_nodes_;
+    block.replica_nodes.push_back(primary);
+    while (static_cast<int>(block.replica_nodes.size()) < replication_) {
+      int candidate = static_cast<int>(rng_.UniformInt(num_nodes_));
+      if (std::find(block.replica_nodes.begin(), block.replica_nodes.end(),
+                    candidate) == block.replica_nodes.end()) {
+        block.replica_nodes.push_back(candidate);
+      }
+    }
+    blocks.push_back(std::move(block));
+  }
+  if (file_size == 0) {
+    blocks.push_back(BlockInfo{0, 0, {0}});
+  }
+  return blocks;
+}
+
+Status SimFileSystem::WriteFile(const std::string& path, std::string data) {
+  if (path.empty()) return Status::InvalidArgument("empty path");
+  std::vector<BlockInfo> blocks =
+      AssignBlocks(static_cast<int64_t>(data.size()));
+  files_[path] = std::make_unique<SimFile>(std::move(data), std::move(blocks));
+  return Status::OK();
+}
+
+Status SimFileSystem::WriteTextFile(const std::string& path,
+                                    const std::vector<std::string>& lines) {
+  size_t total = 0;
+  for (const std::string& line : lines) total += line.size() + 1;
+  std::string data;
+  data.reserve(total);
+  for (const std::string& line : lines) {
+    data.append(line);
+    data.push_back('\n');
+  }
+  return WriteFile(path, std::move(data));
+}
+
+bool SimFileSystem::Exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+Result<const SimFile*> SimFileSystem::GetFile(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return static_cast<const SimFile*>(it->second.get());
+}
+
+Status SimFileSystem::DeleteFile(const std::string& path) {
+  if (files_.erase(path) == 0) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> SimFileSystem::ListFiles() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, file] : files_) out.push_back(path);
+  return out;
+}
+
+int64_t SimFileSystem::TotalBytes() const {
+  int64_t total = 0;
+  for (const auto& [path, file] : files_) total += file->size();
+  return total;
+}
+
+LineRecordReader::LineRecordReader(std::string_view data, int64_t offset,
+                                   int64_t length)
+    : data_(data) {
+  const int64_t file_size = static_cast<int64_t>(data.size());
+  offset = std::clamp<int64_t>(offset, 0, file_size);
+  int64_t end = std::clamp<int64_t>(offset + length, offset, file_size);
+  if (offset > 0) {
+    // Skip the partial line: it belongs to the previous split.
+    size_t nl = data_.find('\n', static_cast<size_t>(offset));
+    offset = (nl == std::string_view::npos) ? file_size
+                                            : static_cast<int64_t>(nl) + 1;
+  }
+  start_ = offset;
+  pos_ = offset;
+  end_ = end;
+}
+
+bool LineRecordReader::Next(std::string_view* line) {
+  // Hadoop's ownership rule: a split reads every line that starts at or
+  // before its end boundary (a line starting exactly at the boundary is
+  // consumed here, because the next split unconditionally skips up to its
+  // first newline).
+  if (pos_ >= static_cast<int64_t>(data_.size()) || pos_ > end_) {
+    return false;
+  }
+  size_t nl = data_.find('\n', static_cast<size_t>(pos_));
+  int64_t line_end =
+      (nl == std::string_view::npos) ? static_cast<int64_t>(data_.size())
+                                     : static_cast<int64_t>(nl);
+  *line = data_.substr(static_cast<size_t>(pos_),
+                       static_cast<size_t>(line_end - pos_));
+  pos_ = line_end + 1;
+  return true;
+}
+
+}  // namespace cloudjoin::dfs

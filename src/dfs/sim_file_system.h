@@ -1,0 +1,115 @@
+#ifndef CLOUDJOIN_DFS_SIM_FILE_SYSTEM_H_
+#define CLOUDJOIN_DFS_SIM_FILE_SYSTEM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace cloudjoin::dfs {
+
+/// One block of a stored file: a byte range plus the nodes holding
+/// replicas. Block boundaries are byte-oriented, exactly as in HDFS — lines
+/// may straddle blocks; `LineRecordReader` implements the standard
+/// fix-up-at-the-boundary rule.
+struct BlockInfo {
+  int64_t offset = 0;
+  int64_t length = 0;
+  std::vector<int> replica_nodes;
+};
+
+/// A file stored in the simulated DFS.
+class SimFile {
+ public:
+  SimFile(std::string data, std::vector<BlockInfo> blocks)
+      : data_(std::move(data)), blocks_(std::move(blocks)) {}
+
+  std::string_view data() const { return data_; }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  const std::vector<BlockInfo>& blocks() const { return blocks_; }
+
+ private:
+  std::string data_;
+  std::vector<BlockInfo> blocks_;
+};
+
+/// In-process model of a distributed file system (the HDFS role in the
+/// paper): files are byte blobs split into fixed-size blocks, each block
+/// replicated on `replication` of the `num_nodes` cluster nodes.
+///
+/// Only the properties the spatial-join systems rely on are modeled:
+/// block-aligned splits for parallel scans, replica locality for static
+/// scan placement, and sequential text reading.
+class SimFileSystem {
+ public:
+  /// `block_size` defaults to 8 MB (scaled down from HDFS's 64/128 MB in
+  /// proportion to the scaled-down datasets, keeping realistic block
+  /// counts).
+  SimFileSystem(int num_nodes, int64_t block_size = 8 * 1024 * 1024,
+                int replication = 3, uint64_t seed = 42);
+
+  /// Stores `data` at `path`, overwriting any existing file, and assigns
+  /// block replicas.
+  Status WriteFile(const std::string& path, std::string data);
+
+  /// Convenience: newline-joins `lines` (with trailing newline) and writes.
+  Status WriteTextFile(const std::string& path,
+                       const std::vector<std::string>& lines);
+
+  bool Exists(const std::string& path) const;
+
+  /// Borrowed pointer valid until the file is deleted/overwritten.
+  Result<const SimFile*> GetFile(const std::string& path) const;
+
+  Status DeleteFile(const std::string& path);
+
+  /// Paths in lexicographic order.
+  std::vector<std::string> ListFiles() const;
+
+  int num_nodes() const { return num_nodes_; }
+  int64_t block_size() const { return block_size_; }
+
+  /// Total bytes stored (logical, not counting replication).
+  int64_t TotalBytes() const;
+
+ private:
+  std::vector<BlockInfo> AssignBlocks(int64_t file_size);
+
+  int num_nodes_;
+  int64_t block_size_;
+  int replication_;
+  Rng rng_;
+  int next_node_ = 0;
+  std::map<std::string, std::unique_ptr<SimFile>> files_;
+};
+
+/// Reads newline-terminated records from a byte range of a file with HDFS
+/// split semantics: a reader whose range starts at offset > 0 skips the
+/// partial first line (it belongs to the previous split) and reads through
+/// the end of the line that straddles its upper boundary.
+class LineRecordReader {
+ public:
+  LineRecordReader(std::string_view data, int64_t offset, int64_t length);
+
+  /// Fetches the next line (without the trailing '\n') into `line`.
+  /// Returns false at end of split.
+  bool Next(std::string_view* line);
+
+  /// Bytes consumed so far (relative to the original offset).
+  int64_t bytes_read() const { return pos_ - start_; }
+
+ private:
+  std::string_view data_;
+  int64_t start_;
+  int64_t end_;
+  int64_t pos_;
+};
+
+}  // namespace cloudjoin::dfs
+
+#endif  // CLOUDJOIN_DFS_SIM_FILE_SYSTEM_H_

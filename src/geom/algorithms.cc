@@ -1,0 +1,63 @@
+#include "geom/algorithms.h"
+
+#include <cmath>
+
+namespace cloudjoin::geom {
+
+double SignedRingArea(std::span<const Point> ring) {
+  size_t n = ring.size();
+  if (n < 3) return 0.0;
+  size_t limit = (ring[0] == ring[n - 1]) ? n - 1 : n;
+  double sum = 0.0;
+  for (size_t i = 0; i < limit; ++i) {
+    const Point& a = ring[i];
+    const Point& b = ring[(i + 1) % limit];
+    sum += a.x * b.y - b.x * a.y;
+  }
+  return sum * 0.5;
+}
+
+bool IsCcw(std::span<const Point> ring) { return SignedRingArea(ring) > 0.0; }
+
+double Area(const Geometry& g) {
+  if (g.type() != GeometryType::kPolygon &&
+      g.type() != GeometryType::kMultiPolygon) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (int part = 0; part < g.NumParts(); ++part) {
+    total += std::fabs(SignedRingArea(g.Ring(part, 0)));
+    for (int ring = 1; ring < g.NumRings(part); ++ring) {
+      total -= std::fabs(SignedRingArea(g.Ring(part, ring)));
+    }
+  }
+  return total;
+}
+
+double Length(const Geometry& g) {
+  double total = 0.0;
+  for (int part = 0; part < g.NumParts(); ++part) {
+    for (int ring = 0; ring < g.NumRings(part); ++ring) {
+      std::span<const Point> pts = g.Ring(part, ring);
+      for (size_t i = 0; i + 1 < pts.size(); ++i) {
+        double dx = pts[i + 1].x - pts[i].x;
+        double dy = pts[i + 1].y - pts[i].y;
+        total += std::sqrt(dx * dx + dy * dy);
+      }
+    }
+  }
+  return total;
+}
+
+Point Centroid(const Geometry& g) {
+  if (g.IsEmpty()) return Point{0, 0};
+  double sx = 0.0, sy = 0.0;
+  for (const Point& p : g.Coords()) {
+    sx += p.x;
+    sy += p.y;
+  }
+  double n = static_cast<double>(g.NumCoords());
+  return Point{sx / n, sy / n};
+}
+
+}  // namespace cloudjoin::geom

@@ -1,0 +1,29 @@
+#ifndef CLOUDJOIN_GEOM_ALGORITHMS_H_
+#define CLOUDJOIN_GEOM_ALGORITHMS_H_
+
+#include <span>
+
+#include "geom/geometry.h"
+
+namespace cloudjoin::geom {
+
+/// Signed area of `ring` (positive when counter-clockwise). The implied
+/// closing edge is handled whether or not the ring repeats its first vertex.
+double SignedRingArea(std::span<const Point> ring);
+
+/// True if `ring` winds counter-clockwise.
+bool IsCcw(std::span<const Point> ring);
+
+/// Area of a polygonal geometry (shells minus holes); 0 for points/lines.
+double Area(const Geometry& g);
+
+/// Total length of all segments (perimeter for polygons).
+double Length(const Geometry& g);
+
+/// Vertex-average centroid (sufficient for partitioning heuristics; not the
+/// exact area-weighted OGC centroid).
+Point Centroid(const Geometry& g);
+
+}  // namespace cloudjoin::geom
+
+#endif  // CLOUDJOIN_GEOM_ALGORITHMS_H_

@@ -1,0 +1,30 @@
+#include "geom/envelope.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cloudjoin::geom {
+
+double Envelope::Distance(const Envelope& other) const {
+  if (IsEmpty() || other.IsEmpty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (Intersects(other)) return 0.0;
+  double dx = 0.0;
+  if (other.max_x_ < min_x_) dx = min_x_ - other.max_x_;
+  else if (other.min_x_ > max_x_) dx = other.min_x_ - max_x_;
+  double dy = 0.0;
+  if (other.max_y_ < min_y_) dy = min_y_ - other.max_y_;
+  else if (other.min_y_ > max_y_) dy = other.min_y_ - max_y_;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::string Envelope::ToString() const {
+  if (IsEmpty()) return "Env[empty]";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "Env[%.6g:%.6g, %.6g:%.6g]", min_x_, max_x_,
+                min_y_, max_y_);
+  return buf;
+}
+
+}  // namespace cloudjoin::geom

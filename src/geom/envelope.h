@@ -1,0 +1,121 @@
+#ifndef CLOUDJOIN_GEOM_ENVELOPE_H_
+#define CLOUDJOIN_GEOM_ENVELOPE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "geom/point.h"
+
+namespace cloudjoin::geom {
+
+/// Axis-aligned minimum bounding box (the paper's "MBB"), used for spatial
+/// filtering before exact refinement.
+///
+/// A default-constructed envelope is *empty* (contains nothing, intersects
+/// nothing) until expanded.
+class Envelope {
+ public:
+  Envelope()
+      : min_x_(std::numeric_limits<double>::infinity()),
+        min_y_(std::numeric_limits<double>::infinity()),
+        max_x_(-std::numeric_limits<double>::infinity()),
+        max_y_(-std::numeric_limits<double>::infinity()) {}
+
+  Envelope(double min_x, double min_y, double max_x, double max_y)
+      : min_x_(min_x), min_y_(min_y), max_x_(max_x), max_y_(max_y) {}
+
+  static Envelope FromPoint(const Point& p) {
+    return Envelope(p.x, p.y, p.x, p.y);
+  }
+
+  bool IsEmpty() const { return min_x_ > max_x_ || min_y_ > max_y_; }
+
+  double min_x() const { return min_x_; }
+  double min_y() const { return min_y_; }
+  double max_x() const { return max_x_; }
+  double max_y() const { return max_y_; }
+
+  double Width() const { return IsEmpty() ? 0.0 : max_x_ - min_x_; }
+  double Height() const { return IsEmpty() ? 0.0 : max_y_ - min_y_; }
+  double Area() const { return Width() * Height(); }
+
+  Point Center() const {
+    return Point{(min_x_ + max_x_) * 0.5, (min_y_ + max_y_) * 0.5};
+  }
+
+  /// Grows to cover `p`.
+  void ExpandToInclude(const Point& p) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x_ = std::max(max_x_, p.x);
+    max_y_ = std::max(max_y_, p.y);
+  }
+
+  /// Grows to cover `other`.
+  void ExpandToInclude(const Envelope& other) {
+    if (other.IsEmpty()) return;
+    min_x_ = std::min(min_x_, other.min_x_);
+    min_y_ = std::min(min_y_, other.min_y_);
+    max_x_ = std::max(max_x_, other.max_x_);
+    max_y_ = std::max(max_y_, other.max_y_);
+  }
+
+  /// Grows by `margin` on every side (the paper's `expandBy(radius)` used
+  /// for NearestD filtering). No-op on empty envelopes.
+  void ExpandBy(double margin) {
+    if (IsEmpty()) return;
+    min_x_ -= margin;
+    min_y_ -= margin;
+    max_x_ += margin;
+    max_y_ += margin;
+  }
+
+  bool Intersects(const Envelope& other) const {
+    if (IsEmpty() || other.IsEmpty()) return false;
+    return min_x_ <= other.max_x_ && other.min_x_ <= max_x_ &&
+           min_y_ <= other.max_y_ && other.min_y_ <= max_y_;
+  }
+
+  bool Contains(const Point& p) const {
+    return !IsEmpty() && p.x >= min_x_ && p.x <= max_x_ && p.y >= min_y_ &&
+           p.y <= max_y_;
+  }
+
+  bool Contains(const Envelope& other) const {
+    if (IsEmpty() || other.IsEmpty()) return false;
+    return other.min_x_ >= min_x_ && other.max_x_ <= max_x_ &&
+           other.min_y_ >= min_y_ && other.max_y_ <= max_y_;
+  }
+
+  /// Minimum distance between this box and point `p` (0 if inside).
+  double Distance(const Point& p) const {
+    if (IsEmpty()) return std::numeric_limits<double>::infinity();
+    double dx = 0.0;
+    if (p.x < min_x_) dx = min_x_ - p.x;
+    else if (p.x > max_x_) dx = p.x - max_x_;
+    double dy = 0.0;
+    if (p.y < min_y_) dy = min_y_ - p.y;
+    else if (p.y > max_y_) dy = p.y - max_y_;
+    return std::sqrt(dx * dx + dy * dy);
+  }
+
+  /// Minimum distance between two boxes (0 if they intersect).
+  double Distance(const Envelope& other) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Envelope& a, const Envelope& b) {
+    if (a.IsEmpty() && b.IsEmpty()) return true;
+    return a.min_x_ == b.min_x_ && a.min_y_ == b.min_y_ &&
+           a.max_x_ == b.max_x_ && a.max_y_ == b.max_y_;
+  }
+
+ private:
+  double min_x_, min_y_, max_x_, max_y_;
+};
+
+}  // namespace cloudjoin::geom
+
+#endif  // CLOUDJOIN_GEOM_ENVELOPE_H_

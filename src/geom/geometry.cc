@@ -1,0 +1,134 @@
+#include "geom/geometry.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace cloudjoin::geom {
+
+const char* GeometryTypeToString(GeometryType type) {
+  switch (type) {
+    case GeometryType::kPoint:
+      return "POINT";
+    case GeometryType::kMultiPoint:
+      return "MULTIPOINT";
+    case GeometryType::kLineString:
+      return "LINESTRING";
+    case GeometryType::kMultiLineString:
+      return "MULTILINESTRING";
+    case GeometryType::kPolygon:
+      return "POLYGON";
+    case GeometryType::kMultiPolygon:
+      return "MULTIPOLYGON";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+/// Appends `ring` to the flat arrays, closing it if necessary for ring-like
+/// kinds.
+void AppendRing(std::vector<Point> ring, bool close,
+                std::vector<Point>* coords, std::vector<int32_t>* ring_offsets) {
+  if (close && ring.size() >= 3 && !(ring.front() == ring.back())) {
+    ring.push_back(ring.front());
+  }
+  for (const Point& p : ring) coords->push_back(p);
+  ring_offsets->push_back(static_cast<int32_t>(coords->size()));
+}
+
+}  // namespace
+
+Geometry::Geometry(GeometryType type)
+    : type_(type), ring_offsets_{0}, part_offsets_{0} {}
+
+Geometry::Geometry(GeometryType type, std::vector<Point> coords,
+                   std::vector<int32_t> ring_offsets,
+                   std::vector<int32_t> part_offsets)
+    : type_(type),
+      coords_(std::move(coords)),
+      ring_offsets_(std::move(ring_offsets)),
+      part_offsets_(std::move(part_offsets)) {
+  CLOUDJOIN_DCHECK(!ring_offsets_.empty());
+  CLOUDJOIN_DCHECK(!part_offsets_.empty());
+  CLOUDJOIN_DCHECK(ring_offsets_.front() == 0);
+  CLOUDJOIN_DCHECK(ring_offsets_.back() ==
+                   static_cast<int32_t>(coords_.size()));
+  CLOUDJOIN_DCHECK(part_offsets_.front() == 0);
+  CLOUDJOIN_DCHECK(part_offsets_.back() ==
+                   static_cast<int32_t>(ring_offsets_.size()) - 1);
+  ComputeEnvelope();
+}
+
+Geometry Geometry::MakePoint(double x, double y) {
+  return Geometry(GeometryType::kPoint, {Point{x, y}}, {0, 1}, {0, 1});
+}
+
+Geometry Geometry::MakeMultiPoint(std::vector<Point> points) {
+  std::vector<int32_t> ring_offsets = {0, static_cast<int32_t>(points.size())};
+  return Geometry(GeometryType::kMultiPoint, std::move(points),
+                  std::move(ring_offsets), {0, 1});
+}
+
+Geometry Geometry::MakeLineString(std::vector<Point> path) {
+  std::vector<int32_t> ring_offsets = {0, static_cast<int32_t>(path.size())};
+  return Geometry(GeometryType::kLineString, std::move(path),
+                  std::move(ring_offsets), {0, 1});
+}
+
+Geometry Geometry::MakeMultiLineString(
+    std::vector<std::vector<Point>> paths) {
+  std::vector<Point> coords;
+  std::vector<int32_t> ring_offsets = {0};
+  std::vector<int32_t> part_offsets = {0};
+  for (auto& path : paths) {
+    AppendRing(std::move(path), /*close=*/false, &coords, &ring_offsets);
+    part_offsets.push_back(static_cast<int32_t>(ring_offsets.size()) - 1);
+  }
+  return Geometry(GeometryType::kMultiLineString, std::move(coords),
+                  std::move(ring_offsets), std::move(part_offsets));
+}
+
+Geometry Geometry::MakePolygon(std::vector<std::vector<Point>> rings) {
+  std::vector<Point> coords;
+  std::vector<int32_t> ring_offsets = {0};
+  for (auto& ring : rings) {
+    AppendRing(std::move(ring), /*close=*/true, &coords, &ring_offsets);
+  }
+  std::vector<int32_t> part_offsets = {
+      0, static_cast<int32_t>(ring_offsets.size()) - 1};
+  return Geometry(GeometryType::kPolygon, std::move(coords),
+                  std::move(ring_offsets), std::move(part_offsets));
+}
+
+Geometry Geometry::MakeMultiPolygon(
+    std::vector<std::vector<std::vector<Point>>> polygons) {
+  std::vector<Point> coords;
+  std::vector<int32_t> ring_offsets = {0};
+  std::vector<int32_t> part_offsets = {0};
+  for (auto& rings : polygons) {
+    for (auto& ring : rings) {
+      AppendRing(std::move(ring), /*close=*/true, &coords, &ring_offsets);
+    }
+    part_offsets.push_back(static_cast<int32_t>(ring_offsets.size()) - 1);
+  }
+  return Geometry(GeometryType::kMultiPolygon, std::move(coords),
+                  std::move(ring_offsets), std::move(part_offsets));
+}
+
+void Geometry::ComputeEnvelope() {
+  envelope_ = Envelope();
+  for (const Point& p : coords_) envelope_.ExpandToInclude(p);
+}
+
+std::string Geometry::ToString() const {
+  std::string out = GeometryTypeToString(type_);
+  out += "(";
+  out += std::to_string(NumParts());
+  out += " parts, ";
+  out += std::to_string(NumCoords());
+  out += " coords)";
+  return out;
+}
+
+}  // namespace cloudjoin::geom

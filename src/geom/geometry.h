@@ -1,0 +1,124 @@
+#ifndef CLOUDJOIN_GEOM_GEOMETRY_H_
+#define CLOUDJOIN_GEOM_GEOMETRY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/envelope.h"
+#include "geom/point.h"
+
+namespace cloudjoin::geom {
+
+/// OGC geometry kinds supported by the kernel.
+enum class GeometryType {
+  kPoint,
+  kMultiPoint,
+  kLineString,
+  kMultiLineString,
+  kPolygon,
+  kMultiPolygon,
+};
+
+const char* GeometryTypeToString(GeometryType type);
+
+/// Immutable 2-D geometry stored in flat arrays.
+///
+/// Layout (uniform across kinds):
+///   coords_        all vertices of all rings, contiguous
+///   ring_offsets_  starts of each ring within coords_ (size = rings + 1)
+///   part_offsets_  starts of each part within ring_offsets_ (size = parts+1)
+///
+/// * Point          — 1 part, 1 ring, 1 coordinate
+/// * MultiPoint     — 1 part, 1 ring, N coordinates
+/// * LineString     — 1 part, 1 ring (the path)
+/// * MultiLineString— N parts, 1 ring each
+/// * Polygon        — 1 part, ring 0 = shell, rings 1.. = holes
+/// * MultiPolygon   — N parts, each with shell + holes
+///
+/// The envelope is computed once at construction. This flat, pointer-free
+/// representation is what makes the kernel the "fast" (JTS-role) library in
+/// the paper's refinement comparison.
+class Geometry {
+ public:
+  /// Builds an empty geometry of `type` (no coordinates).
+  explicit Geometry(GeometryType type);
+
+  /// Raw constructor from flat arrays; offsets must be well-formed
+  /// (validated with CHECKs in debug builds).
+  Geometry(GeometryType type, std::vector<Point> coords,
+           std::vector<int32_t> ring_offsets, std::vector<int32_t> part_offsets);
+
+  Geometry(const Geometry&) = default;
+  Geometry& operator=(const Geometry&) = default;
+  Geometry(Geometry&&) = default;
+  Geometry& operator=(Geometry&&) = default;
+
+  // -- Factories -----------------------------------------------------------
+
+  static Geometry MakePoint(double x, double y);
+  static Geometry MakeMultiPoint(std::vector<Point> points);
+  static Geometry MakeLineString(std::vector<Point> path);
+  static Geometry MakeMultiLineString(std::vector<std::vector<Point>> paths);
+  /// `rings[0]` is the shell; the rest are holes. Rings are closed
+  /// automatically if the last vertex differs from the first.
+  static Geometry MakePolygon(std::vector<std::vector<Point>> rings);
+  /// Each element of `polygons` is a ring list as for MakePolygon.
+  static Geometry MakeMultiPolygon(
+      std::vector<std::vector<std::vector<Point>>> polygons);
+
+  // -- Structure accessors -------------------------------------------------
+
+  GeometryType type() const { return type_; }
+  bool IsEmpty() const { return coords_.empty(); }
+  const Envelope& envelope() const { return envelope_; }
+
+  /// Total vertex count across all rings.
+  int64_t NumCoords() const { return static_cast<int64_t>(coords_.size()); }
+
+  int NumParts() const {
+    return static_cast<int>(part_offsets_.size()) - 1;
+  }
+  int NumRings(int part) const {
+    return part_offsets_[part + 1] - part_offsets_[part];
+  }
+
+  /// Coordinates of ring `ring` of part `part` (shell = ring 0).
+  std::span<const Point> Ring(int part, int ring) const {
+    int r = part_offsets_[part] + ring;
+    return std::span<const Point>(coords_.data() + ring_offsets_[r],
+                                  static_cast<size_t>(ring_offsets_[r + 1] -
+                                                      ring_offsets_[r]));
+  }
+
+  /// All coordinates (useful for points/lines).
+  std::span<const Point> Coords() const {
+    return std::span<const Point>(coords_.data(), coords_.size());
+  }
+
+  /// First coordinate; only valid for non-empty geometries.
+  const Point& FirstPoint() const { return coords_.front(); }
+
+  std::string ToString() const;
+
+  /// Deep structural equality (same type, same coordinates in order).
+  friend bool operator==(const Geometry& a, const Geometry& b) {
+    return a.type_ == b.type_ && a.coords_ == b.coords_ &&
+           a.ring_offsets_ == b.ring_offsets_ &&
+           a.part_offsets_ == b.part_offsets_;
+  }
+
+ private:
+  void ComputeEnvelope();
+
+  GeometryType type_;
+  std::vector<Point> coords_;
+  std::vector<int32_t> ring_offsets_;
+  std::vector<int32_t> part_offsets_;
+  Envelope envelope_;
+};
+
+}  // namespace cloudjoin::geom
+
+#endif  // CLOUDJOIN_GEOM_GEOMETRY_H_

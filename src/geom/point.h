@@ -1,0 +1,20 @@
+#ifndef CLOUDJOIN_GEOM_POINT_H_
+#define CLOUDJOIN_GEOM_POINT_H_
+
+namespace cloudjoin::geom {
+
+/// A 2-D coordinate. Plain value type; the whole fast-path geometry kernel
+/// stores these contiguously to stay cache-friendly (this is the library in
+/// the role of JTS in the paper's comparison).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+}  // namespace cloudjoin::geom
+
+#endif  // CLOUDJOIN_GEOM_POINT_H_

@@ -1,0 +1,271 @@
+#include "geom/predicates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cloudjoin::geom {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Sign of the cross product (b-a) x (c-a): >0 left turn, <0 right turn,
+/// 0 collinear.
+double Cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+bool OnSegment(const Point& q, const Point& a, const Point& b) {
+  if (Cross(a, b, q) != 0.0) return false;
+  return q.x >= std::min(a.x, b.x) && q.x <= std::max(a.x, b.x) &&
+         q.y >= std::min(a.y, b.y) && q.y <= std::max(a.y, b.y);
+}
+
+/// Iterates the segments of every ring of every part of `g`, calling
+/// fn(a, b); returns early if fn returns true.
+template <typename Fn>
+bool ForEachSegment(const Geometry& g, Fn fn) {
+  for (int part = 0; part < g.NumParts(); ++part) {
+    for (int ring = 0; ring < g.NumRings(part); ++ring) {
+      std::span<const Point> pts = g.Ring(part, ring);
+      for (size_t i = 0; i + 1 < pts.size(); ++i) {
+        if (fn(pts[i], pts[i + 1])) return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Minimum distance from q to the boundary segments of `g`.
+double DistanceToBoundary(const Point& q, const Geometry& g) {
+  double best_sq = kInf;
+  ForEachSegment(g, [&](const Point& a, const Point& b) {
+    best_sq = std::min(best_sq, SquaredDistancePointSegment(q, a, b));
+    return false;
+  });
+  return best_sq == kInf ? kInf : std::sqrt(best_sq);
+}
+
+/// Minimum distance between the segment sets of two geometries, or +inf if
+/// either has no segments. Returns 0 immediately if any pair intersects.
+double SegmentSetDistance(const Geometry& a, const Geometry& b) {
+  double best_sq = kInf;
+  bool hit = ForEachSegment(a, [&](const Point& a1, const Point& a2) {
+    return ForEachSegment(b, [&](const Point& b1, const Point& b2) {
+      if (SegmentsIntersect(a1, a2, b1, b2)) return true;
+      best_sq = std::min(best_sq, SquaredDistancePointSegment(b1, a1, a2));
+      best_sq = std::min(best_sq, SquaredDistancePointSegment(b2, a1, a2));
+      best_sq = std::min(best_sq, SquaredDistancePointSegment(a1, b1, b2));
+      best_sq = std::min(best_sq, SquaredDistancePointSegment(a2, b1, b2));
+      return false;
+    });
+  });
+  if (hit) return 0.0;
+  return best_sq == kInf ? kInf : std::sqrt(best_sq);
+}
+
+bool IsPolygonal(const Geometry& g) {
+  return g.type() == GeometryType::kPolygon ||
+         g.type() == GeometryType::kMultiPolygon;
+}
+
+bool IsLinear(const Geometry& g) {
+  return g.type() == GeometryType::kLineString ||
+         g.type() == GeometryType::kMultiLineString;
+}
+
+bool IsPuntal(const Geometry& g) {
+  return g.type() == GeometryType::kPoint ||
+         g.type() == GeometryType::kMultiPoint;
+}
+
+}  // namespace
+
+RingLocation LocatePointInRing(const Point& q, std::span<const Point> ring) {
+  if (ring.size() < 3) return RingLocation::kOutside;
+  bool inside = false;
+  size_t n = ring.size();
+  // The ring may or may not repeat the first vertex at the end; handle the
+  // implied closing edge uniformly.
+  size_t limit = (ring[0] == ring[n - 1]) ? n - 1 : n;
+  for (size_t i = 0; i < limit; ++i) {
+    const Point& a = ring[i];
+    const Point& b = ring[(i + 1) % limit];
+    if (OnSegment(q, a, b)) return RingLocation::kBoundary;
+    if ((a.y > q.y) != (b.y > q.y)) {
+      double x_int = a.x + (q.y - a.y) * (b.x - a.x) / (b.y - a.y);
+      if (q.x < x_int) inside = !inside;
+    }
+  }
+  return inside ? RingLocation::kInside : RingLocation::kOutside;
+}
+
+bool PointInPolygon(const Point& q, const Geometry& g) {
+  if (!g.envelope().Contains(q)) return false;
+  for (int part = 0; part < g.NumParts(); ++part) {
+    RingLocation shell = LocatePointInRing(q, g.Ring(part, 0));
+    if (shell == RingLocation::kOutside) continue;
+    if (shell == RingLocation::kBoundary) return true;
+    bool in_hole = false;
+    for (int ring = 1; ring < g.NumRings(part); ++ring) {
+      RingLocation hole = LocatePointInRing(q, g.Ring(part, ring));
+      if (hole == RingLocation::kBoundary) return true;
+      if (hole == RingLocation::kInside) {
+        in_hole = true;
+        break;
+      }
+    }
+    if (!in_hole) return true;
+  }
+  return false;
+}
+
+double SquaredDistancePointSegment(const Point& q, const Point& a,
+                                   const Point& b) {
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double len_sq = abx * abx + aby * aby;
+  double t = 0.0;
+  if (len_sq > 0.0) {
+    t = ((q.x - a.x) * abx + (q.y - a.y) * aby) / len_sq;
+    t = std::clamp(t, 0.0, 1.0);
+  }
+  const double px = a.x + t * abx - q.x;
+  const double py = a.y + t * aby - q.y;
+  return px * px + py * py;
+}
+
+double DistancePointSegment(const Point& q, const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistancePointSegment(q, a, b));
+}
+
+double DistancePointLineString(const Point& q, const Geometry& g) {
+  double best_sq = kInf;
+  ForEachSegment(g, [&](const Point& a, const Point& b) {
+    best_sq = std::min(best_sq, SquaredDistancePointSegment(q, a, b));
+    return false;
+  });
+  if (best_sq == kInf) {
+    // Degenerate single-point "line".
+    if (!g.IsEmpty()) {
+      const Point& p = g.FirstPoint();
+      double dx = p.x - q.x, dy = p.y - q.y;
+      return std::sqrt(dx * dx + dy * dy);
+    }
+    return kInf;
+  }
+  return std::sqrt(best_sq);
+}
+
+double DistancePointPolygon(const Point& q, const Geometry& g) {
+  if (PointInPolygon(q, g)) return 0.0;
+  return DistanceToBoundary(q, g);
+}
+
+bool SegmentsIntersect(const Point& a, const Point& b, const Point& c,
+                       const Point& d) {
+  const double d1 = Cross(c, d, a);
+  const double d2 = Cross(c, d, b);
+  const double d3 = Cross(a, b, c);
+  const double d4 = Cross(a, b, d);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  if (d1 == 0 && OnSegment(a, c, d)) return true;
+  if (d2 == 0 && OnSegment(b, c, d)) return true;
+  if (d3 == 0 && OnSegment(c, a, b)) return true;
+  if (d4 == 0 && OnSegment(d, a, b)) return true;
+  return false;
+}
+
+bool Within(const Geometry& a, const Geometry& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return false;
+  if (!b.envelope().Contains(a.envelope())) return false;
+  if (IsPuntal(a) && IsPolygonal(b)) {
+    for (const Point& p : a.Coords()) {
+      if (!PointInPolygon(p, b)) return false;
+    }
+    return true;
+  }
+  if (IsLinear(a) && IsPolygonal(b)) {
+    // All vertices inside/on boundary, and no proper crossing of any ring
+    // edge. (Sufficient for simple polygons; matches the refinement the
+    // paper's workloads need.)
+    for (const Point& p : a.Coords()) {
+      if (!PointInPolygon(p, b)) return false;
+    }
+    bool crossing = ForEachSegment(a, [&](const Point& a1, const Point& a2) {
+      Point mid{(a1.x + a2.x) * 0.5, (a1.y + a2.y) * 0.5};
+      return !PointInPolygon(mid, b);
+    });
+    return !crossing;
+  }
+  return false;
+}
+
+double Distance(const Geometry& a, const Geometry& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return kInf;
+  if (a.type() == GeometryType::kPoint) {
+    const Point& p = a.FirstPoint();
+    if (IsPuntal(b)) {
+      double best = kInf;
+      for (const Point& q : b.Coords()) {
+        double dx = p.x - q.x, dy = p.y - q.y;
+        best = std::min(best, dx * dx + dy * dy);
+      }
+      return std::sqrt(best);
+    }
+    if (IsLinear(b)) return DistancePointLineString(p, b);
+    if (IsPolygonal(b)) return DistancePointPolygon(p, b);
+  }
+  if (b.type() == GeometryType::kPoint) return Distance(b, a);
+  if (IsPuntal(a)) {
+    double best = kInf;
+    for (const Point& p : a.Coords()) {
+      best = std::min(best, Distance(Geometry::MakePoint(p.x, p.y), b));
+    }
+    return best;
+  }
+  if (IsPuntal(b)) return Distance(b, a);
+  // Line/polygon combinations: containment first, then boundary distance.
+  if (IsPolygonal(a) && !a.IsEmpty() && PointInPolygon(b.FirstPoint(), a)) {
+    return 0.0;
+  }
+  if (IsPolygonal(b) && !b.IsEmpty() && PointInPolygon(a.FirstPoint(), b)) {
+    return 0.0;
+  }
+  return SegmentSetDistance(a, b);
+}
+
+bool WithinDistance(const Geometry& a, const Geometry& b, double d) {
+  if (a.envelope().Distance(b.envelope()) > d) return false;
+  return Distance(a, b) <= d;
+}
+
+bool Intersects(const Geometry& a, const Geometry& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return false;
+  if (!a.envelope().Intersects(b.envelope())) return false;
+  if (IsPuntal(a)) {
+    for (const Point& p : a.Coords()) {
+      if (IsPolygonal(b) && PointInPolygon(p, b)) return true;
+      if (IsLinear(b) && DistancePointLineString(p, b) == 0.0) return true;
+      if (IsPuntal(b)) {
+        for (const Point& q : b.Coords()) {
+          if (p == q) return true;
+        }
+      }
+    }
+    return false;
+  }
+  if (IsPuntal(b)) return Intersects(b, a);
+  // Any boundary crossing?
+  if (SegmentSetDistance(a, b) == 0.0) return true;
+  // Full containment of one in the other.
+  if (IsPolygonal(a) && PointInPolygon(b.FirstPoint(), a)) return true;
+  if (IsPolygonal(b) && PointInPolygon(a.FirstPoint(), b)) return true;
+  return false;
+}
+
+}  // namespace cloudjoin::geom

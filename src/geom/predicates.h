@@ -1,0 +1,62 @@
+#ifndef CLOUDJOIN_GEOM_PREDICATES_H_
+#define CLOUDJOIN_GEOM_PREDICATES_H_
+
+#include <span>
+
+#include "geom/geometry.h"
+
+namespace cloudjoin::geom {
+
+/// Location of a point relative to a ring.
+enum class RingLocation { kInside, kOutside, kBoundary };
+
+/// Classifies `q` against the closed ring `ring` (first == last vertex not
+/// required; the closing edge is implied). Crossing-number test with an
+/// explicit collinear/on-edge check so boundary points are deterministic.
+RingLocation LocatePointInRing(const Point& q, std::span<const Point> ring);
+
+/// True if `q` is inside or on the boundary of the polygon/multipolygon `g`
+/// (shell minus holes; a point on a hole boundary counts as on the
+/// boundary, i.e. contained). This is the paper's `Within` refinement.
+bool PointInPolygon(const Point& q, const Geometry& g);
+
+/// Squared distance from `q` to segment [a, b].
+double SquaredDistancePointSegment(const Point& q, const Point& a,
+                                   const Point& b);
+
+/// Distance from `q` to segment [a, b].
+double DistancePointSegment(const Point& q, const Point& a, const Point& b);
+
+/// Minimum distance from `q` to any segment of linestring/multilinestring
+/// `g`. Returns +inf for empty geometry.
+double DistancePointLineString(const Point& q, const Geometry& g);
+
+/// Minimum distance from `q` to polygon `g` (0 when inside).
+double DistancePointPolygon(const Point& q, const Geometry& g);
+
+/// True if segments [a,b] and [c,d] intersect (including touching).
+bool SegmentsIntersect(const Point& a, const Point& b, const Point& c,
+                       const Point& d);
+
+/// OGC-style `a WITHIN b` for the combinations the join engines need:
+///   Point     within Polygon/MultiPolygon   — point-in-polygon test
+///   Point     within Envelope of others     — false unless degenerate
+///   LineString within Polygon               — all vertices inside and no
+///                                             edge crossing of any ring
+/// Unsupported combinations return false.
+bool Within(const Geometry& a, const Geometry& b);
+
+/// Minimum Euclidean distance between `a` and `b` for point/line/polygon
+/// combinations (symmetric). Polygon interiors count as distance 0.
+double Distance(const Geometry& a, const Geometry& b);
+
+/// True if the distance between `a` and `b` is <= `d`. Uses envelope
+/// early-exit before exact computation (the paper's NearestD refinement).
+bool WithinDistance(const Geometry& a, const Geometry& b, double d);
+
+/// True if `a` and `b` intersect, for point/line/polygon combinations.
+bool Intersects(const Geometry& a, const Geometry& b);
+
+}  // namespace cloudjoin::geom
+
+#endif  // CLOUDJOIN_GEOM_PREDICATES_H_

@@ -1,0 +1,126 @@
+#include "geom/prepared.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cloudjoin::geom {
+
+namespace {
+
+/// True if segment [a,b] intersects the closed rectangle `rect`.
+bool SegmentIntersectsRect(const Point& a, const Point& b,
+                           const Envelope& rect) {
+  if (rect.Contains(a) || rect.Contains(b)) return true;
+  // Segment bbox vs rect quick reject.
+  Envelope seg_box;
+  seg_box.ExpandToInclude(a);
+  seg_box.ExpandToInclude(b);
+  if (!seg_box.Intersects(rect)) return false;
+  // Test against the four rectangle edges.
+  Point corners[4] = {{rect.min_x(), rect.min_y()},
+                      {rect.max_x(), rect.min_y()},
+                      {rect.max_x(), rect.max_y()},
+                      {rect.min_x(), rect.max_y()}};
+  for (int i = 0; i < 4; ++i) {
+    if (SegmentsIntersect(a, b, corners[i], corners[(i + 1) % 4])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+PreparedPolygon::PreparedPolygon(Geometry polygon, int grid_side)
+    : polygon_(std::move(polygon)),
+      extent_(polygon_.envelope()),
+      grid_side_(std::max(1, grid_side)) {
+  CLOUDJOIN_CHECK(polygon_.type() == GeometryType::kPolygon ||
+                  polygon_.type() == GeometryType::kMultiPolygon);
+  cells_.assign(static_cast<size_t>(grid_side_) * grid_side_,
+                CellState::kOutside);
+  if (polygon_.IsEmpty() || extent_.IsEmpty()) return;
+  cell_w_ = extent_.Width() / grid_side_;
+  cell_h_ = extent_.Height() / grid_side_;
+  if (cell_w_ <= 0) cell_w_ = 1e-12;
+  if (cell_h_ <= 0) cell_h_ = 1e-12;
+
+  // Pass 1: mark every cell crossed by a boundary segment.
+  for (int part = 0; part < polygon_.NumParts(); ++part) {
+    for (int ring = 0; ring < polygon_.NumRings(part); ++ring) {
+      auto pts = polygon_.Ring(part, ring);
+      for (size_t i = 0; i + 1 < pts.size(); ++i) {
+        const Point& a = pts[i];
+        const Point& b = pts[i + 1];
+        int c0 = std::clamp(
+            static_cast<int>((std::min(a.x, b.x) - extent_.min_x()) / cell_w_),
+            0, grid_side_ - 1);
+        int c1 = std::clamp(
+            static_cast<int>((std::max(a.x, b.x) - extent_.min_x()) / cell_w_),
+            0, grid_side_ - 1);
+        int r0 = std::clamp(
+            static_cast<int>((std::min(a.y, b.y) - extent_.min_y()) / cell_h_),
+            0, grid_side_ - 1);
+        int r1 = std::clamp(
+            static_cast<int>((std::max(a.y, b.y) - extent_.min_y()) / cell_h_),
+            0, grid_side_ - 1);
+        for (int r = r0; r <= r1; ++r) {
+          for (int c = c0; c <= c1; ++c) {
+            if (cells_[CellIndex(c, r)] == CellState::kBoundary) continue;
+            Envelope rect(extent_.min_x() + c * cell_w_,
+                          extent_.min_y() + r * cell_h_,
+                          extent_.min_x() + (c + 1) * cell_w_,
+                          extent_.min_y() + (r + 1) * cell_h_);
+            if (SegmentIntersectsRect(a, b, rect)) {
+              cells_[CellIndex(c, r)] = CellState::kBoundary;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Pass 2: classify the remaining cells by their center. A cell with no
+  // boundary crossing is uniformly inside or outside.
+  for (int r = 0; r < grid_side_; ++r) {
+    for (int c = 0; c < grid_side_; ++c) {
+      CellState& state = cells_[CellIndex(c, r)];
+      if (state == CellState::kBoundary) continue;
+      Point center{extent_.min_x() + (c + 0.5) * cell_w_,
+                   extent_.min_y() + (r + 0.5) * cell_h_};
+      state = PointInPolygon(center, polygon_) ? CellState::kInside
+                                               : CellState::kOutside;
+    }
+  }
+}
+
+bool PreparedPolygon::Contains(const Point& p) const {
+  if (!extent_.Contains(p)) return false;
+  int c = std::clamp(static_cast<int>((p.x - extent_.min_x()) / cell_w_), 0,
+                     grid_side_ - 1);
+  int r = std::clamp(static_cast<int>((p.y - extent_.min_y()) / cell_h_), 0,
+                     grid_side_ - 1);
+  switch (cells_[CellIndex(c, r)]) {
+    case CellState::kInside:
+      return true;
+    case CellState::kOutside:
+      return false;
+    case CellState::kBoundary:
+      return PointInPolygon(p, polygon_);
+  }
+  return false;
+}
+
+double PreparedPolygon::BoundaryCellFraction() const {
+  int64_t boundary = 0;
+  for (CellState s : cells_) {
+    if (s == CellState::kBoundary) ++boundary;
+  }
+  return cells_.empty()
+             ? 0.0
+             : static_cast<double>(boundary) / static_cast<double>(cells_.size());
+}
+
+}  // namespace cloudjoin::geom

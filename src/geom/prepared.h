@@ -1,0 +1,55 @@
+#ifndef CLOUDJOIN_GEOM_PREPARED_H_
+#define CLOUDJOIN_GEOM_PREPARED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/geometry.h"
+#include "geom/predicates.h"
+
+namespace cloudjoin::geom {
+
+/// Point-in-polygon accelerator in the spirit of JTS PreparedGeometry /
+/// IndexedPointInAreaLocator: a uniform grid over the polygon's envelope
+/// where each cell is pre-classified as fully inside, fully outside, or
+/// boundary-crossing. Probes in interior/exterior cells answer in O(1);
+/// only boundary cells fall back to the exact ray-crossing test.
+///
+/// This is the "boost the performance of geometry operations" future-work
+/// direction of the paper: when one polygon is tested against many points
+/// (exactly the broadcast-join access pattern), preparation amortizes.
+///
+/// Semantics match `PointInPolygon` exactly (boundary counts as inside),
+/// enforced by property tests.
+class PreparedPolygon {
+ public:
+  /// Prepares `polygon` (kPolygon or kMultiPolygon; copied). `grid_side`
+  /// is the resolution per axis; cost of preparation is
+  /// O(grid_side^2 + vertices * grid_side).
+  explicit PreparedPolygon(Geometry polygon, int grid_side = 32);
+
+  /// Exact containment test, accelerated.
+  bool Contains(const Point& p) const;
+
+  const Geometry& polygon() const { return polygon_; }
+
+  /// Fraction of cells that require the exact fallback (diagnostics; lower
+  /// is faster).
+  double BoundaryCellFraction() const;
+
+ private:
+  enum class CellState : uint8_t { kOutside = 0, kInside = 1, kBoundary = 2 };
+
+  int CellIndex(int col, int row) const { return row * grid_side_ + col; }
+
+  Geometry polygon_;
+  Envelope extent_;
+  int grid_side_;
+  double cell_w_ = 1.0;
+  double cell_h_ = 1.0;
+  std::vector<CellState> cells_;
+};
+
+}  // namespace cloudjoin::geom
+
+#endif  // CLOUDJOIN_GEOM_PREPARED_H_

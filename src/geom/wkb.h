@@ -1,0 +1,41 @@
+#ifndef CLOUDJOIN_GEOM_WKB_H_
+#define CLOUDJOIN_GEOM_WKB_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "geom/geometry.h"
+
+namespace cloudjoin::geom {
+
+/// Well-Known-Binary support — the storage format the paper names as
+/// future work for SpatialSpark ("represent geometry ... as binary both
+/// in-memory and on HDFS to avoid string parsing overheads"). The binary
+/// round-trip is bit-exact, unlike WKT.
+///
+/// Standard OGC WKB: byte-order marker (0 = big-endian, 1 = little),
+/// uint32 geometry type, then the payload; nested geometries of the
+/// Multi* types carry their own headers. Only 2-D geometries are
+/// supported, matching the rest of the kernel.
+
+/// Serializes `g` as little-endian WKB.
+std::string WriteWkb(const Geometry& g);
+
+/// Parses WKB in either byte order.
+Result<Geometry> ReadWkb(std::string_view data);
+
+/// Hex encoding for embedding WKB in text tables (the common "EWKB hex"
+/// storage convention; upper-case digits).
+std::string ToHex(std::string_view bytes);
+Result<std::string> FromHex(std::string_view hex);
+
+/// Convenience: WriteWkb + ToHex.
+std::string WriteWkbHex(const Geometry& g);
+
+/// Convenience: FromHex + ReadWkb.
+Result<Geometry> ReadWkbHex(std::string_view hex);
+
+}  // namespace cloudjoin::geom
+
+#endif  // CLOUDJOIN_GEOM_WKB_H_

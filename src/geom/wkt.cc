@@ -1,0 +1,254 @@
+#include "geom/wkt.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace cloudjoin::geom {
+
+namespace {
+
+/// Minimal single-pass WKT scanner.
+class WktScanner {
+ public:
+  explicit WktScanner(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  /// Consumes `c` if it is next; returns whether it was.
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Reads an uppercase keyword ([A-Za-z]+).
+  std::string ReadKeyword() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    std::string word(text_.substr(start, pos_ - start));
+    for (char& c : word) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    return word;
+  }
+
+  Result<double> ReadNumber() {
+    SkipSpace();
+    const char* first = text_.data() + pos_;
+    const char* last = text_.data() + text_.size();
+    double value = 0;
+    auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc()) {
+      return Status::ParseError("expected number at offset " +
+                                std::to_string(pos_));
+    }
+    pos_ += static_cast<size_t>(ptr - first);
+    return value;
+  }
+
+  Result<Point> ReadCoord() {
+    CLOUDJOIN_ASSIGN_OR_RETURN(double x, ReadNumber());
+    CLOUDJOIN_ASSIGN_OR_RETURN(double y, ReadNumber());
+    return Point{x, y};
+  }
+
+  /// Reads "(c, c, ...)" into `out`.
+  Status ReadCoordList(std::vector<Point>* out) {
+    if (!Consume('(')) return Status::ParseError("expected '('");
+    do {
+      CLOUDJOIN_ASSIGN_OR_RETURN(Point p, ReadCoord());
+      out->push_back(p);
+    } while (Consume(','));
+    if (!Consume(')')) return Status::ParseError("expected ')'");
+    return Status::OK();
+  }
+
+  /// Reads "((...),(...))" — a list of rings.
+  Status ReadRingList(std::vector<std::vector<Point>>* out) {
+    if (!Consume('(')) return Status::ParseError("expected '('");
+    do {
+      std::vector<Point> ring;
+      CLOUDJOIN_RETURN_IF_ERROR(ReadCoordList(&ring));
+      out->push_back(std::move(ring));
+    } while (Consume(','));
+    if (!Consume(')')) return Status::ParseError("expected ')'");
+    return Status::OK();
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void AppendCoord(const Point& p, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g %.10g", p.x, p.y);
+  out->append(buf);
+}
+
+void AppendCoordList(std::span<const Point> coords, std::string* out) {
+  out->push_back('(');
+  for (size_t i = 0; i < coords.size(); ++i) {
+    if (i > 0) out->append(", ");
+    AppendCoord(coords[i], out);
+  }
+  out->push_back(')');
+}
+
+void AppendPartRings(const Geometry& g, int part, std::string* out) {
+  out->push_back('(');
+  for (int r = 0; r < g.NumRings(part); ++r) {
+    if (r > 0) out->append(", ");
+    AppendCoordList(g.Ring(part, r), out);
+  }
+  out->push_back(')');
+}
+
+}  // namespace
+
+Result<Geometry> ReadWkt(std::string_view text) {
+  WktScanner scan(text);
+  std::string kind = scan.ReadKeyword();
+  if (kind.empty()) return Status::ParseError("missing geometry keyword");
+
+  GeometryType type;
+  if (kind == "POINT") type = GeometryType::kPoint;
+  else if (kind == "MULTIPOINT") type = GeometryType::kMultiPoint;
+  else if (kind == "LINESTRING") type = GeometryType::kLineString;
+  else if (kind == "MULTILINESTRING") type = GeometryType::kMultiLineString;
+  else if (kind == "POLYGON") type = GeometryType::kPolygon;
+  else if (kind == "MULTIPOLYGON") type = GeometryType::kMultiPolygon;
+  else return Status::ParseError("unknown geometry type '" + kind + "'");
+
+  // EMPTY geometries.
+  {
+    WktScanner probe = scan;
+    if (probe.ReadKeyword() == "EMPTY") return Geometry(type);
+  }
+
+  switch (type) {
+    case GeometryType::kPoint: {
+      if (!scan.Consume('(')) return Status::ParseError("expected '('");
+      CLOUDJOIN_ASSIGN_OR_RETURN(Point p, scan.ReadCoord());
+      if (!scan.Consume(')')) return Status::ParseError("expected ')'");
+      return Geometry::MakePoint(p.x, p.y);
+    }
+    case GeometryType::kMultiPoint: {
+      // Accept both "MULTIPOINT (1 2, 3 4)" and "MULTIPOINT ((1 2),(3 4))".
+      std::vector<Point> points;
+      if (!scan.Consume('(')) return Status::ParseError("expected '('");
+      do {
+        if (scan.Consume('(')) {
+          CLOUDJOIN_ASSIGN_OR_RETURN(Point p, scan.ReadCoord());
+          if (!scan.Consume(')')) return Status::ParseError("expected ')'");
+          points.push_back(p);
+        } else {
+          CLOUDJOIN_ASSIGN_OR_RETURN(Point p, scan.ReadCoord());
+          points.push_back(p);
+        }
+      } while (scan.Consume(','));
+      if (!scan.Consume(')')) return Status::ParseError("expected ')'");
+      return Geometry::MakeMultiPoint(std::move(points));
+    }
+    case GeometryType::kLineString: {
+      std::vector<Point> path;
+      CLOUDJOIN_RETURN_IF_ERROR(scan.ReadCoordList(&path));
+      if (path.size() < 2) {
+        return Status::ParseError("LINESTRING needs >= 2 points");
+      }
+      return Geometry::MakeLineString(std::move(path));
+    }
+    case GeometryType::kMultiLineString: {
+      std::vector<std::vector<Point>> paths;
+      CLOUDJOIN_RETURN_IF_ERROR(scan.ReadRingList(&paths));
+      return Geometry::MakeMultiLineString(std::move(paths));
+    }
+    case GeometryType::kPolygon: {
+      std::vector<std::vector<Point>> rings;
+      CLOUDJOIN_RETURN_IF_ERROR(scan.ReadRingList(&rings));
+      for (const auto& ring : rings) {
+        if (ring.size() < 3) {
+          return Status::ParseError("polygon ring needs >= 3 points");
+        }
+      }
+      return Geometry::MakePolygon(std::move(rings));
+    }
+    case GeometryType::kMultiPolygon: {
+      if (!scan.Consume('(')) return Status::ParseError("expected '('");
+      std::vector<std::vector<std::vector<Point>>> polygons;
+      do {
+        std::vector<std::vector<Point>> rings;
+        CLOUDJOIN_RETURN_IF_ERROR(scan.ReadRingList(&rings));
+        polygons.push_back(std::move(rings));
+      } while (scan.Consume(','));
+      if (!scan.Consume(')')) return Status::ParseError("expected ')'");
+      return Geometry::MakeMultiPolygon(std::move(polygons));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+std::string WriteWkt(const Geometry& g) {
+  std::string out = GeometryTypeToString(g.type());
+  if (g.IsEmpty()) {
+    out += " EMPTY";
+    return out;
+  }
+  out.push_back(' ');
+  switch (g.type()) {
+    case GeometryType::kPoint: {
+      out.push_back('(');
+      AppendCoord(g.FirstPoint(), &out);
+      out.push_back(')');
+      break;
+    }
+    case GeometryType::kMultiPoint:
+    case GeometryType::kLineString:
+      AppendCoordList(g.Coords(), &out);
+      break;
+    case GeometryType::kMultiLineString: {
+      out.push_back('(');
+      for (int part = 0; part < g.NumParts(); ++part) {
+        if (part > 0) out.append(", ");
+        AppendCoordList(g.Ring(part, 0), &out);
+      }
+      out.push_back(')');
+      break;
+    }
+    case GeometryType::kPolygon:
+      AppendPartRings(g, 0, &out);
+      break;
+    case GeometryType::kMultiPolygon: {
+      out.push_back('(');
+      for (int part = 0; part < g.NumParts(); ++part) {
+        if (part > 0) out.append(", ");
+        AppendPartRings(g, part, &out);
+      }
+      out.push_back(')');
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace cloudjoin::geom

@@ -1,0 +1,27 @@
+#ifndef CLOUDJOIN_GEOM_WKT_H_
+#define CLOUDJOIN_GEOM_WKT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "geom/geometry.h"
+
+namespace cloudjoin::geom {
+
+/// Parses a Well-Known-Text geometry (POINT, MULTIPOINT, LINESTRING,
+/// MULTILINESTRING, POLYGON, MULTIPOLYGON; EMPTY supported for all).
+///
+/// The paper stores all geometry as WKT strings in HDFS text files for both
+/// SpatialSpark and ISP-MC, so WKT parsing sits on the hot path of every
+/// scan — this parser is allocation-light and single-pass.
+Result<Geometry> ReadWkt(std::string_view text);
+
+/// Serializes `g` as WKT. Coordinates are written with up to 10 significant
+/// digits (round-trips the synthetic datasets exactly enough for equality
+/// of join results).
+std::string WriteWkt(const Geometry& g);
+
+}  // namespace cloudjoin::geom
+
+#endif  // CLOUDJOIN_GEOM_WKT_H_

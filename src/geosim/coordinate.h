@@ -1,0 +1,29 @@
+#ifndef CLOUDJOIN_GEOSIM_COORDINATE_H_
+#define CLOUDJOIN_GEOSIM_COORDINATE_H_
+
+namespace cloudjoin::geosim {
+
+/// GEOS-style coordinate.
+///
+/// NOTE ON STYLE: everything in `geosim` deliberately mirrors the GEOS/JTS
+/// API surface (lowerCamelCase methods, factory-created heap objects,
+/// virtual dispatch) because this module plays GEOS's role in the paper's
+/// JTS-vs-GEOS refinement comparison. Its *algorithms* are identical to the
+/// flat `geom` kernel — cross-checked by property tests — so the measured
+/// performance difference is attributable to memory behaviour alone, which
+/// is exactly the paper's §V.B finding.
+struct Coordinate {
+  double x = 0.0;
+  double y = 0.0;
+
+  Coordinate() = default;
+  Coordinate(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  bool equals(const Coordinate& other) const {
+    return x == other.x && y == other.y;
+  }
+};
+
+}  // namespace cloudjoin::geosim
+
+#endif  // CLOUDJOIN_GEOSIM_COORDINATE_H_

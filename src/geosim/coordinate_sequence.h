@@ -1,0 +1,59 @@
+#ifndef CLOUDJOIN_GEOSIM_COORDINATE_SEQUENCE_H_
+#define CLOUDJOIN_GEOSIM_COORDINATE_SEQUENCE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "geosim/coordinate.h"
+
+namespace cloudjoin::geosim {
+
+/// Abstract coordinate container accessed through virtual calls, as in
+/// GEOS. The indirection (instead of a raw span) is a deliberate,
+/// measured-in-the-paper source of overhead.
+class CoordinateSequence {
+ public:
+  virtual ~CoordinateSequence() = default;
+
+  virtual std::size_t getSize() const = 0;
+
+  /// Copies coordinate `i` into `out`.
+  virtual void getAt(std::size_t i, Coordinate* out) const = 0;
+
+  /// Returns coordinate `i` by value (allocing call chain in old GEOS).
+  virtual Coordinate getAt(std::size_t i) const = 0;
+
+  /// Deep copy (heap). Several GEOS operations clone their input sequence
+  /// before iterating; the simulated operations keep that behaviour.
+  virtual std::unique_ptr<CoordinateSequence> clone() const = 0;
+};
+
+/// Default vector-backed implementation.
+class DefaultCoordinateSequence final : public CoordinateSequence {
+ public:
+  DefaultCoordinateSequence() = default;
+  explicit DefaultCoordinateSequence(std::vector<Coordinate> coords)
+      : coords_(std::move(coords)) {}
+
+  std::size_t getSize() const override { return coords_.size(); }
+
+  void getAt(std::size_t i, Coordinate* out) const override {
+    *out = coords_[i];
+  }
+
+  Coordinate getAt(std::size_t i) const override { return coords_[i]; }
+
+  std::unique_ptr<CoordinateSequence> clone() const override {
+    return std::make_unique<DefaultCoordinateSequence>(coords_);
+  }
+
+  void add(const Coordinate& c) { coords_.push_back(c); }
+
+ private:
+  std::vector<Coordinate> coords_;
+};
+
+}  // namespace cloudjoin::geosim
+
+#endif  // CLOUDJOIN_GEOSIM_COORDINATE_SEQUENCE_H_

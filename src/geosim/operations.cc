@@ -1,0 +1,337 @@
+#include "geosim/operations.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cloudjoin::geosim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double Cross(const Coordinate& a, const Coordinate& b, const Coordinate& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+bool OnSegment(const Coordinate& q, const Coordinate& a,
+               const Coordinate& b) {
+  if (Cross(a, b, q) != 0.0) return false;
+  return q.x >= std::min(a.x, b.x) && q.x <= std::max(a.x, b.x) &&
+         q.y >= std::min(a.y, b.y) && q.y <= std::max(a.y, b.y);
+}
+
+}  // namespace
+
+void RayCrossingCounter::countSegment(const Coordinate& a,
+                                      const Coordinate& b) {
+  if (on_segment_) return;
+  if (OnSegment(point_, a, b)) {
+    on_segment_ = true;
+    return;
+  }
+  if ((a.y > point_.y) != (b.y > point_.y)) {
+    double x_int = a.x + (point_.y - a.y) * (b.x - a.x) / (b.y - a.y);
+    if (point_.x < x_int) ++crossings_;
+  }
+}
+
+Location locatePointInRing(const Coordinate& p,
+                           const CoordinateSequence& ring) {
+  std::size_t n = ring.getSize();
+  if (n < 3) return Location::kExterior;
+  // Old-GEOS style: materialize the ring as individually heap-allocated
+  // coordinates before testing — one allocation (and later one free) per
+  // vertex, iterated through pointers. This is the small-object churn and
+  // cache hostility the paper's §V.B measures against JTS's flat arrays;
+  // the *algorithm* is identical to geom::LocatePointInRing.
+  std::vector<std::unique_ptr<Coordinate>> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back(std::make_unique<Coordinate>(ring.getAt(i)));
+  }
+  std::size_t limit = pts[0]->equals(*pts[n - 1]) ? n - 1 : n;
+
+  RayCrossingCounter counter(p);
+  for (std::size_t i = 0; i < limit; ++i) {
+    const Coordinate& a = *pts[i];
+    const Coordinate& b = *pts[(i + 1) % limit];
+    counter.countSegment(a, b);
+    if (counter.isOnSegment()) return Location::kBoundary;
+  }
+  return counter.getLocation();
+}
+
+namespace {
+
+bool pointInPolygonImpl(const Coordinate& p, const PolygonImpl* poly) {
+  Location shell =
+      locatePointInRing(p, *poly->getExteriorRing()->getCoordinatesRO());
+  if (shell == Location::kExterior) return false;
+  if (shell == Location::kBoundary) return true;
+  for (std::size_t i = 0; i < poly->getNumInteriorRing(); ++i) {
+    Location hole =
+        locatePointInRing(p, *poly->getInteriorRingN(i)->getCoordinatesRO());
+    if (hole == Location::kBoundary) return true;
+    if (hole == Location::kInterior) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool pointInPolygonal(const Coordinate& p, const Geometry* g) {
+  if (!g->getEnvelopeInternal().Contains(geom::Point{p.x, p.y})) return false;
+  if (g->getGeometryTypeId() == GeometryTypeId::kPolygon) {
+    return pointInPolygonImpl(p, static_cast<const PolygonImpl*>(g));
+  }
+  if (g->getGeometryTypeId() == GeometryTypeId::kMultiPolygon) {
+    const auto* mp = static_cast<const MultiPolygonImpl*>(g);
+    for (std::size_t i = 0; i < mp->getNumGeometries(); ++i) {
+      const auto* poly = static_cast<const PolygonImpl*>(mp->getGeometryN(i));
+      if (pointInPolygonImpl(p, poly)) return true;
+    }
+  }
+  return false;
+}
+
+GeometryGraph::GeometryGraph(const Geometry* g) { Add(g); }
+
+void GeometryGraph::Add(const Geometry* g) {
+  switch (g->getGeometryTypeId()) {
+    case GeometryTypeId::kPoint: {
+      auto node = std::make_unique<Node>();
+      node->coord = static_cast<const PointImpl*>(g)->getCoordinate();
+      nodes_.push_back(std::move(node));
+      break;
+    }
+    case GeometryTypeId::kLineString:
+    case GeometryTypeId::kLinearRing: {
+      const auto* ls = static_cast<const LineStringImpl*>(g);
+      auto edge = std::make_unique<Edge>();
+      edge->pts = ls->getCoordinatesRO()->clone();
+      if (edge->pts->getSize() > 0) {
+        auto start = std::make_unique<Node>();
+        start->coord = edge->pts->getAt(0);
+        auto end = std::make_unique<Node>();
+        end->coord = edge->pts->getAt(edge->pts->getSize() - 1);
+        nodes_.push_back(std::move(start));
+        nodes_.push_back(std::move(end));
+      }
+      edges_.push_back(std::move(edge));
+      break;
+    }
+    case GeometryTypeId::kPolygon: {
+      const auto* poly = static_cast<const PolygonImpl*>(g);
+      Add(poly->getExteriorRing());
+      for (std::size_t i = 0; i < poly->getNumInteriorRing(); ++i) {
+        Add(poly->getInteriorRingN(i));
+      }
+      break;
+    }
+    case GeometryTypeId::kMultiPoint:
+    case GeometryTypeId::kMultiLineString:
+    case GeometryTypeId::kMultiPolygon: {
+      const auto* coll = static_cast<const GeometryCollectionImpl*>(g);
+      for (std::size_t i = 0; i < coll->getNumGeometries(); ++i) {
+        Add(coll->getGeometryN(i));
+      }
+      break;
+    }
+  }
+}
+
+double LineSegment::distance(const Coordinate& q) const {
+  const double abx = p1.x - p0.x;
+  const double aby = p1.y - p0.y;
+  const double len_sq = abx * abx + aby * aby;
+  double t = 0.0;
+  if (len_sq > 0.0) {
+    t = ((q.x - p0.x) * abx + (q.y - p0.y) * aby) / len_sq;
+    t = std::clamp(t, 0.0, 1.0);
+  }
+  const double px = p0.x + t * abx - q.x;
+  const double py = p0.y + t * aby - q.y;
+  return std::sqrt(px * px + py * py);
+}
+
+bool LineSegment::intersects(const LineSegment& other) const {
+  const Coordinate& a = p0;
+  const Coordinate& b = p1;
+  const Coordinate& c = other.p0;
+  const Coordinate& d = other.p1;
+  const double d1 = Cross(c, d, a);
+  const double d2 = Cross(c, d, b);
+  const double d3 = Cross(a, b, c);
+  const double d4 = Cross(a, b, d);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  if (d1 == 0 && OnSegment(a, c, d)) return true;
+  if (d2 == 0 && OnSegment(b, c, d)) return true;
+  if (d3 == 0 && OnSegment(c, a, b)) return true;
+  if (d4 == 0 && OnSegment(d, a, b)) return true;
+  return false;
+}
+
+namespace {
+
+void extractSegmentsFromSequence(const CoordinateSequence& seq,
+                                 std::vector<std::unique_ptr<LineSegment>>* out) {
+  std::size_t n = seq.getSize();
+  Coordinate a;
+  Coordinate b;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    seq.getAt(i, &a);
+    seq.getAt(i + 1, &b);
+    auto seg = std::make_unique<LineSegment>();
+    seg->p0 = a;
+    seg->p1 = b;
+    out->push_back(std::move(seg));
+  }
+}
+
+void extractSegmentsInto(const Geometry* g,
+                         std::vector<std::unique_ptr<LineSegment>>* out) {
+  switch (g->getGeometryTypeId()) {
+    case GeometryTypeId::kPoint:
+      break;
+    case GeometryTypeId::kLineString:
+    case GeometryTypeId::kLinearRing: {
+      const auto* ls = static_cast<const LineStringImpl*>(g);
+      extractSegmentsFromSequence(*ls->getCoordinatesRO(), out);
+      break;
+    }
+    case GeometryTypeId::kPolygon: {
+      const auto* poly = static_cast<const PolygonImpl*>(g);
+      extractSegmentsFromSequence(*poly->getExteriorRing()->getCoordinatesRO(),
+                                  out);
+      for (std::size_t i = 0; i < poly->getNumInteriorRing(); ++i) {
+        extractSegmentsFromSequence(
+            *poly->getInteriorRingN(i)->getCoordinatesRO(), out);
+      }
+      break;
+    }
+    case GeometryTypeId::kMultiPoint:
+    case GeometryTypeId::kMultiLineString:
+    case GeometryTypeId::kMultiPolygon: {
+      const auto* coll = static_cast<const GeometryCollectionImpl*>(g);
+      for (std::size_t i = 0; i < coll->getNumGeometries(); ++i) {
+        extractSegmentsInto(coll->getGeometryN(i), out);
+      }
+      break;
+    }
+  }
+}
+
+void extractCoordinatesInto(const Geometry* g, std::vector<Coordinate>* out) {
+  switch (g->getGeometryTypeId()) {
+    case GeometryTypeId::kPoint:
+      out->push_back(static_cast<const PointImpl*>(g)->getCoordinate());
+      break;
+    case GeometryTypeId::kLineString:
+    case GeometryTypeId::kLinearRing: {
+      const auto* ls = static_cast<const LineStringImpl*>(g);
+      const CoordinateSequence* seq = ls->getCoordinatesRO();
+      Coordinate c;
+      for (std::size_t i = 0; i < seq->getSize(); ++i) {
+        seq->getAt(i, &c);
+        out->push_back(c);
+      }
+      break;
+    }
+    case GeometryTypeId::kPolygon: {
+      const auto* poly = static_cast<const PolygonImpl*>(g);
+      extractCoordinatesInto(poly->getExteriorRing(), out);
+      for (std::size_t i = 0; i < poly->getNumInteriorRing(); ++i) {
+        extractCoordinatesInto(poly->getInteriorRingN(i), out);
+      }
+      break;
+    }
+    case GeometryTypeId::kMultiPoint:
+    case GeometryTypeId::kMultiLineString:
+    case GeometryTypeId::kMultiPolygon: {
+      const auto* coll = static_cast<const GeometryCollectionImpl*>(g);
+      for (std::size_t i = 0; i < coll->getNumGeometries(); ++i) {
+        extractCoordinatesInto(coll->getGeometryN(i), out);
+      }
+      break;
+    }
+  }
+}
+
+bool isPolygonal(const Geometry* g) {
+  return g->getGeometryTypeId() == GeometryTypeId::kPolygon ||
+         g->getGeometryTypeId() == GeometryTypeId::kMultiPolygon;
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<LineSegment>> extractSegments(const Geometry* g) {
+  std::vector<std::unique_ptr<LineSegment>> out;
+  extractSegmentsInto(g, &out);
+  return out;
+}
+
+std::vector<Coordinate> extractCoordinates(const Geometry* g) {
+  std::vector<Coordinate> out;
+  extractCoordinatesInto(g, &out);
+  return out;
+}
+
+double DistanceOp::getDistance() const {
+  if (a_->isEmpty() || b_->isEmpty()) return kInf;
+
+  // Containment short-circuit for polygons.
+  if (isPolygonal(a_)) {
+    std::vector<Coordinate> bc = extractCoordinates(b_);
+    if (!bc.empty() && pointInPolygonal(bc.front(), a_)) return 0.0;
+  }
+  if (isPolygonal(b_)) {
+    std::vector<Coordinate> ac = extractCoordinates(a_);
+    if (!ac.empty() && pointInPolygonal(ac.front(), b_)) return 0.0;
+  }
+
+  // Facet decomposition, heap-allocated per call (GEOS style).
+  std::vector<std::unique_ptr<LineSegment>> sa = extractSegments(a_);
+  std::vector<std::unique_ptr<LineSegment>> sb = extractSegments(b_);
+  std::vector<Coordinate> ca = extractCoordinates(a_);
+  std::vector<Coordinate> cb = extractCoordinates(b_);
+
+  double best = kInf;
+  if (sa.empty() && sb.empty()) {
+    // Point-to-point.
+    for (const Coordinate& p : ca) {
+      for (const Coordinate& q : cb) {
+        double dx = p.x - q.x, dy = p.y - q.y;
+        best = std::min(best, std::sqrt(dx * dx + dy * dy));
+      }
+    }
+    return best;
+  }
+  if (sa.empty()) {
+    for (const Coordinate& p : ca) {
+      for (const auto& seg : sb) best = std::min(best, seg->distance(p));
+    }
+    return best;
+  }
+  if (sb.empty()) {
+    for (const Coordinate& q : cb) {
+      for (const auto& seg : sa) best = std::min(best, seg->distance(q));
+    }
+    return best;
+  }
+  for (const auto& seg_a : sa) {
+    for (const auto& seg_b : sb) {
+      if (seg_a->intersects(*seg_b)) return 0.0;
+      best = std::min(best, seg_a->distance(seg_b->p0));
+      best = std::min(best, seg_a->distance(seg_b->p1));
+      best = std::min(best, seg_b->distance(seg_a->p0));
+      best = std::min(best, seg_b->distance(seg_a->p1));
+    }
+  }
+  return best;
+}
+
+}  // namespace cloudjoin::geosim

@@ -1,0 +1,108 @@
+#ifndef CLOUDJOIN_GEOSIM_OPERATIONS_H_
+#define CLOUDJOIN_GEOSIM_OPERATIONS_H_
+
+#include <memory>
+
+#include "geosim/coordinate_sequence.h"
+#include "geosim/geometry.h"
+
+namespace cloudjoin::geosim {
+
+/// Location codes, GEOS style.
+enum class Location { kInterior, kBoundary, kExterior };
+
+/// Stateful crossing counter fed one segment at a time — the structure GEOS
+/// uses for point-in-ring tests. Semantics are identical to
+/// `geom::LocatePointInRing`.
+class RayCrossingCounter {
+ public:
+  explicit RayCrossingCounter(const Coordinate& point) : point_(point) {}
+
+  void countSegment(const Coordinate& a, const Coordinate& b);
+
+  bool isOnSegment() const { return on_segment_; }
+
+  Location getLocation() const {
+    if (on_segment_) return Location::kBoundary;
+    return (crossings_ % 2) == 1 ? Location::kInterior : Location::kExterior;
+  }
+
+ private:
+  Coordinate point_;
+  int crossings_ = 0;
+  bool on_segment_ = false;
+};
+
+/// Classifies `p` against `ring`. Materializes per-vertex heap coordinates
+/// before iterating (deliberate old-GEOS small-object churn on the
+/// refinement hot path — the behaviour the paper's §V.B blames for the
+/// JTS/GEOS gap).
+Location locatePointInRing(const Coordinate& p, const CoordinateSequence& ring);
+
+/// Per-call topology-graph skeleton, as GEOS's relate() machinery builds
+/// before evaluating a predicate: one heap Edge (with a cloned coordinate
+/// sequence) per ring/line and heap Nodes for endpoints. Carries no
+/// information the flat kernel needs — its cost is the point: GEOS-era
+/// `within`/`intersects` paid this graph construction on every call.
+class GeometryGraph {
+ public:
+  explicit GeometryGraph(const Geometry* g);
+
+  struct Edge {
+    std::unique_ptr<CoordinateSequence> pts;
+    int label[3] = {0, 0, 0};
+  };
+  struct Node {
+    Coordinate coord;
+    int label[3] = {0, 0, 0};
+  };
+
+  const std::vector<std::unique_ptr<Edge>>& edges() const { return edges_; }
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+
+ private:
+  void Add(const Geometry* g);
+
+  std::vector<std::unique_ptr<Edge>> edges_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+/// True if `p` is inside or on the boundary of a Polygon/MultiPolygon.
+bool pointInPolygonal(const Coordinate& p, const Geometry* g);
+
+/// GEOS-style distance operation between two geometries. Decomposes both
+/// inputs into heap-allocated facet lists per call.
+class DistanceOp {
+ public:
+  DistanceOp(const Geometry* a, const Geometry* b) : a_(a), b_(b) {}
+
+  /// Minimum distance; +inf when undefined (empty inputs).
+  double getDistance() const;
+
+  static double distance(const Geometry* a, const Geometry* b) {
+    return DistanceOp(a, b).getDistance();
+  }
+
+ private:
+  const Geometry* a_;
+  const Geometry* b_;
+};
+
+/// Per-call heap segment facet (GEOS DistanceOp builds such lists).
+struct LineSegment {
+  Coordinate p0;
+  Coordinate p1;
+
+  double distance(const Coordinate& q) const;
+  bool intersects(const LineSegment& other) const;
+};
+
+/// Decomposes a geometry into heap-allocated segments (empty for points).
+std::vector<std::unique_ptr<LineSegment>> extractSegments(const Geometry* g);
+
+/// Collects all coordinates of a geometry (heap copies).
+std::vector<Coordinate> extractCoordinates(const Geometry* g);
+
+}  // namespace cloudjoin::geosim
+
+#endif  // CLOUDJOIN_GEOSIM_OPERATIONS_H_

@@ -1,0 +1,210 @@
+#include "geosim/wkt_reader.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace cloudjoin::geosim {
+
+namespace {
+
+/// GEOS-style string tokenizer: tokens are produced on demand, each
+/// materialized as its own std::string (GEOS io::StringTokenizer yields
+/// per-token string copies the same way). Slower than the flat kernel's
+/// in-place scanner by design — WKT parsing is one of the three per-tuple
+/// cost sites the paper calls out for ISP-MC.
+class StringTokenizer {
+ public:
+  explicit StringTokenizer(std::string_view text) : text_(text) {
+    Advance();
+  }
+
+  bool AtEnd() const { return !has_token_; }
+
+  const std::string& Peek() const { return current_; }
+
+  std::string Next() {
+    std::string token = current_;  // by value: per-token copy, as in GEOS
+    Advance();
+    return token;
+  }
+
+  bool TryConsume(const char* token) {
+    if (has_token_ && current_ == token) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  void Advance() {
+    const size_t n = text_.size();
+    while (pos_ < n &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= n) {
+      has_token_ = false;
+      current_.clear();
+      return;
+    }
+    char c = text_[pos_];
+    if (c == '(' || c == ')' || c == ',') {
+      current_.assign(1, c);
+      ++pos_;
+    } else {
+      size_t start = pos_;
+      while (pos_ < n &&
+             !std::isspace(static_cast<unsigned char>(text_[pos_])) &&
+             text_[pos_] != '(' && text_[pos_] != ')' &&
+             text_[pos_] != ',') {
+        ++pos_;
+      }
+      current_.assign(text_.substr(start, pos_ - start));
+    }
+    has_token_ = true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string current_;
+  bool has_token_ = true;
+};
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+Result<double> TokenToNumber(const std::string& token) {
+  if (token.empty()) return Status::ParseError("expected number");
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  double value = std::strtod(begin, &end);
+  if (end != begin + token.size()) {
+    return Status::ParseError("bad number in WKT: '" + token + "'");
+  }
+  return value;
+}
+
+Result<Coordinate> ReadCoordinate(StringTokenizer* tok) {
+  CLOUDJOIN_ASSIGN_OR_RETURN(double x, TokenToNumber(tok->Next()));
+  CLOUDJOIN_ASSIGN_OR_RETURN(double y, TokenToNumber(tok->Next()));
+  return Coordinate(x, y);
+}
+
+Result<std::vector<Coordinate>> ReadCoordinateList(StringTokenizer* tok) {
+  if (!tok->TryConsume("(")) return Status::ParseError("expected '('");
+  std::vector<Coordinate> coords;
+  do {
+    CLOUDJOIN_ASSIGN_OR_RETURN(Coordinate c, ReadCoordinate(tok));
+    coords.push_back(c);
+  } while (tok->TryConsume(","));
+  if (!tok->TryConsume(")")) return Status::ParseError("expected ')'");
+  return coords;
+}
+
+Result<std::unique_ptr<PolygonImpl>> ReadPolygonBody(
+    const GeometryFactory& factory, StringTokenizer* tok) {
+  if (!tok->TryConsume("(")) return Status::ParseError("expected '('");
+  CLOUDJOIN_ASSIGN_OR_RETURN(std::vector<Coordinate> shell,
+                             ReadCoordinateList(tok));
+  if (shell.size() < 3) {
+    return Status::ParseError("polygon ring needs >= 3 points");
+  }
+  std::vector<std::unique_ptr<LinearRingImpl>> holes;
+  while (tok->TryConsume(",")) {
+    CLOUDJOIN_ASSIGN_OR_RETURN(std::vector<Coordinate> hole,
+                               ReadCoordinateList(tok));
+    if (hole.size() < 3) {
+      return Status::ParseError("polygon ring needs >= 3 points");
+    }
+    holes.push_back(factory.createLinearRing(std::move(hole)));
+  }
+  if (!tok->TryConsume(")")) return Status::ParseError("expected ')'");
+  return factory.createPolygon(factory.createLinearRing(std::move(shell)),
+                               std::move(holes));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Geometry>> WKTReader::read(
+    std::string_view text) const {
+  StringTokenizer tok(text);
+  const GeometryFactory& f = *factory_;
+  std::string kind = ToUpper(tok.Next());
+  if (kind.empty()) return Status::ParseError("missing geometry keyword");
+
+  if (ToUpper(tok.Peek()) == "EMPTY") {
+    return Status::ParseError("EMPTY geometries unsupported by this reader");
+  }
+
+  if (kind == "POINT") {
+    if (!tok.TryConsume("(")) return Status::ParseError("expected '('");
+    CLOUDJOIN_ASSIGN_OR_RETURN(Coordinate c, ReadCoordinate(&tok));
+    if (!tok.TryConsume(")")) return Status::ParseError("expected ')'");
+    if (!tok.AtEnd()) return Status::ParseError("trailing WKT tokens");
+    return std::unique_ptr<Geometry>(f.createPoint(c));
+  }
+  if (kind == "MULTIPOINT") {
+    if (!tok.TryConsume("(")) return Status::ParseError("expected '('");
+    std::vector<std::unique_ptr<Geometry>> members;
+    do {
+      if (tok.TryConsume("(")) {
+        CLOUDJOIN_ASSIGN_OR_RETURN(Coordinate c, ReadCoordinate(&tok));
+        if (!tok.TryConsume(")")) return Status::ParseError("expected ')'");
+        members.push_back(f.createPoint(c));
+      } else {
+        CLOUDJOIN_ASSIGN_OR_RETURN(Coordinate c, ReadCoordinate(&tok));
+        members.push_back(f.createPoint(c));
+      }
+    } while (tok.TryConsume(","));
+    if (!tok.TryConsume(")")) return Status::ParseError("expected ')'");
+    return std::unique_ptr<Geometry>(f.createMultiPoint(std::move(members)));
+  }
+  if (kind == "LINESTRING") {
+    CLOUDJOIN_ASSIGN_OR_RETURN(std::vector<Coordinate> coords,
+                               ReadCoordinateList(&tok));
+    if (coords.size() < 2) {
+      return Status::ParseError("LINESTRING needs >= 2 points");
+    }
+    if (!tok.AtEnd()) return Status::ParseError("trailing WKT tokens");
+    return std::unique_ptr<Geometry>(f.createLineString(std::move(coords)));
+  }
+  if (kind == "MULTILINESTRING") {
+    if (!tok.TryConsume("(")) return Status::ParseError("expected '('");
+    std::vector<std::unique_ptr<Geometry>> members;
+    do {
+      CLOUDJOIN_ASSIGN_OR_RETURN(std::vector<Coordinate> coords,
+                                 ReadCoordinateList(&tok));
+      members.push_back(f.createLineString(std::move(coords)));
+    } while (tok.TryConsume(","));
+    if (!tok.TryConsume(")")) return Status::ParseError("expected ')'");
+    return std::unique_ptr<Geometry>(
+        f.createMultiLineString(std::move(members)));
+  }
+  if (kind == "POLYGON") {
+    CLOUDJOIN_ASSIGN_OR_RETURN(std::unique_ptr<PolygonImpl> poly,
+                               ReadPolygonBody(f, &tok));
+    if (!tok.AtEnd()) return Status::ParseError("trailing WKT tokens");
+    return std::unique_ptr<Geometry>(std::move(poly));
+  }
+  if (kind == "MULTIPOLYGON") {
+    if (!tok.TryConsume("(")) return Status::ParseError("expected '('");
+    std::vector<std::unique_ptr<Geometry>> members;
+    do {
+      CLOUDJOIN_ASSIGN_OR_RETURN(std::unique_ptr<PolygonImpl> poly,
+                                 ReadPolygonBody(f, &tok));
+      members.push_back(std::move(poly));
+    } while (tok.TryConsume(","));
+    if (!tok.TryConsume(")")) return Status::ParseError("expected ')'");
+    return std::unique_ptr<Geometry>(f.createMultiPolygon(std::move(members)));
+  }
+  return Status::ParseError("unknown geometry type '" + kind + "'");
+}
+
+}  // namespace cloudjoin::geosim

@@ -1,0 +1,33 @@
+#ifndef CLOUDJOIN_GEOSIM_WKT_READER_H_
+#define CLOUDJOIN_GEOSIM_WKT_READER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "geosim/geometry.h"
+
+namespace cloudjoin::geosim {
+
+/// GEOS-style WKT reader producing factory-built heap geometries.
+///
+/// Accepts the same grammar as `geom::ReadWkt` (GEOS is a port of JTS) but
+/// is implemented the way GEOS implements it: a tokenizer pass that
+/// materializes every token as its own string, then recursive descent over
+/// the token list. Several times slower than the flat single-pass scanner
+/// — which matters because ISP-MC parses WKT at three sites per tuple
+/// (build, probe, refine UDF), exactly as the paper describes.
+class WKTReader {
+ public:
+  explicit WKTReader(const GeometryFactory* factory) : factory_(factory) {}
+
+  /// Parses `text` into a heap geometry.
+  Result<std::unique_ptr<Geometry>> read(std::string_view text) const;
+
+ private:
+  const GeometryFactory* factory_;
+};
+
+}  // namespace cloudjoin::geosim
+
+#endif  // CLOUDJOIN_GEOSIM_WKT_READER_H_

@@ -1,0 +1,118 @@
+#ifndef CLOUDJOIN_IMPALA_ANALYZER_H_
+#define CLOUDJOIN_IMPALA_ANALYZER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "impala/ast.h"
+#include "impala/catalog.h"
+#include "impala/expr.h"
+
+namespace cloudjoin::impala {
+
+/// The spatial join condition extracted from the WHERE clause — the
+/// information the paper's frontend extension feeds into its SpatialJoin
+/// AST node.
+struct SpatialJoinSpec {
+  enum class Predicate { kWithin, kNearestD, kIntersects };
+
+  Predicate predicate = Predicate::kWithin;
+  /// Slot of the geometry (WKT string) column in the left/right tuple.
+  int left_geom_slot = 0;
+  int right_geom_slot = 0;
+  /// Search radius for kNearestD.
+  double distance = 0.0;
+  /// Refinement UDF (ST_WITHIN / ST_NEARESTD / ST_INTERSECTS wrapper).
+  const ScalarUdf* refine_udf = nullptr;
+};
+
+/// One aggregate in the SELECT list (or a hidden one referenced only by
+/// HAVING / ORDER BY).
+struct AggregateSpec {
+  enum class Kind { kCount, kSum, kMin, kMax, kAvg };
+
+  Kind kind = Kind::kCount;
+  /// Argument; null for COUNT(*).
+  std::unique_ptr<Expr> arg;
+  std::string output_name;
+  /// COUNT(DISTINCT arg).
+  bool distinct = false;
+  /// Computed for HAVING/ORDER BY but not part of the visible result.
+  bool hidden = false;
+};
+
+/// One resolved ORDER BY key: an expression over the (possibly
+/// hidden-extended) output row.
+struct OrderKey {
+  std::unique_ptr<Expr> expr;
+  bool ascending = true;
+};
+
+/// Fully resolved query, ready for planning.
+struct AnalyzedQuery {
+  const TableDef* left_table = nullptr;
+  const TableDef* right_table = nullptr;  // nullptr when no join
+  JoinKind join_kind = JoinKind::kNone;
+  std::optional<SpatialJoinSpec> spatial_join;
+
+  /// WHERE conjuncts referencing only the left / only the right side —
+  /// pushed below the join.
+  std::vector<std::unique_ptr<Expr>> left_filters;
+  std::vector<std::unique_ptr<Expr>> right_filters;
+  /// Conjuncts over both sides (evaluated after the join), including the
+  /// INNER JOIN ON condition.
+  std::vector<std::unique_ptr<Expr>> post_join_filters;
+
+  /// Output projections (non-aggregating queries). `hidden_projections`
+  /// are extra output slots that exist only so ORDER BY can sort by them;
+  /// the coordinator drops them after sorting.
+  std::vector<std::unique_ptr<Expr>> projections;
+  std::vector<std::unique_ptr<Expr>> hidden_projections;
+  std::vector<std::string> output_names;
+
+  bool has_aggregation = false;
+  std::vector<std::unique_ptr<Expr>> group_by;
+  std::vector<std::string> group_by_names;
+  std::vector<AggregateSpec> aggregates;
+
+  /// HAVING predicate, evaluated over the aggregated output row
+  /// ([group keys..., aggregates...], including hidden aggregates).
+  std::unique_ptr<Expr> having;
+  /// ORDER BY keys over the output row (visible or hidden slots).
+  std::vector<OrderKey> order_by;
+
+  int64_t limit = -1;
+
+  /// Number of visible result columns (the coordinator truncates rows to
+  /// this width after HAVING/ORDER BY).
+  int NumVisibleColumns() const {
+    if (has_aggregation) {
+      int visible_aggs = 0;
+      for (const auto& agg : aggregates) {
+        if (!agg.hidden) ++visible_aggs;
+      }
+      return static_cast<int>(group_by.size()) + visible_aggs;
+    }
+    return static_cast<int>(projections.size());
+  }
+};
+
+/// Resolves names against the catalog, splits/pushes WHERE conjuncts, and
+/// extracts the spatial join predicate.
+class Analyzer {
+ public:
+  explicit Analyzer(const Catalog* catalog) : catalog_(catalog) {}
+
+  Result<std::unique_ptr<AnalyzedQuery>> Analyze(
+      const SelectStatement& stmt) const;
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace cloudjoin::impala
+
+#endif  // CLOUDJOIN_IMPALA_ANALYZER_H_

@@ -1,0 +1,79 @@
+#ifndef CLOUDJOIN_IMPALA_AST_H_
+#define CLOUDJOIN_IMPALA_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cloudjoin::impala {
+
+/// Unresolved expression tree produced by the parser.
+struct AstExpr {
+  enum class Kind {
+    kIntLiteral,
+    kDoubleLiteral,
+    kStringLiteral,
+    kColumnRef,     // [table.]column
+    kFunctionCall,  // NAME(args...), including ST_* spatial functions
+    kBinary,        // lhs op rhs (AND, OR, comparisons, arithmetic)
+    kStar,          // bare '*' (only valid in SELECT list / COUNT(*))
+  };
+
+  Kind kind = Kind::kStar;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+  std::string table;   // kColumnRef: optional qualifier (original case)
+  std::string column;  // kColumnRef (original case)
+  std::string func_name;  // kFunctionCall (uppercased)
+  bool distinct = false;  // kFunctionCall: COUNT(DISTINCT x)
+  std::vector<std::unique_ptr<AstExpr>> args;
+  std::string op;  // kBinary (uppercased: AND OR = < > <= >= <> + - * /)
+  std::unique_ptr<AstExpr> lhs;
+  std::unique_ptr<AstExpr> rhs;
+};
+
+/// FROM-clause table reference with optional alias.
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to table name
+
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+/// One SELECT-list entry.
+struct SelectItem {
+  std::unique_ptr<AstExpr> expr;
+  std::string alias;
+};
+
+/// Join syntax accepted by the extended frontend. `kSpatial` is the paper's
+/// `SPATIAL JOIN` keyword extension.
+enum class JoinKind { kNone, kSpatial, kCross, kInner };
+
+/// One ORDER BY key.
+struct OrderByItem {
+  std::unique_ptr<AstExpr> expr;
+  bool ascending = true;
+};
+
+/// Parsed SELECT statement.
+struct SelectStatement {
+  std::vector<SelectItem> select_list;  // empty means SELECT *
+  TableRef from;
+  JoinKind join_kind = JoinKind::kNone;
+  TableRef join_table;
+  std::unique_ptr<AstExpr> join_on;  // INNER JOIN ... ON <expr>
+  std::unique_ptr<AstExpr> where;
+  std::vector<std::unique_ptr<AstExpr>> group_by;
+  std::unique_ptr<AstExpr> having;
+  std::vector<OrderByItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+};
+
+}  // namespace cloudjoin::impala
+
+#endif  // CLOUDJOIN_IMPALA_AST_H_

@@ -1,0 +1,35 @@
+#include "impala/catalog.h"
+
+namespace cloudjoin::impala {
+
+int TableDef::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Catalog::RegisterTable(TableDef table) {
+  if (table.name.empty()) return Status::InvalidArgument("empty table name");
+  if (table.columns.empty()) {
+    return Status::InvalidArgument("table '" + table.name + "' has no columns");
+  }
+  tables_[table.name] = std::move(table);
+  return Status::OK();
+}
+
+Result<const TableDef*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("unknown table: " + name);
+  }
+  return static_cast<const TableDef*>(&it->second);
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::vector<std::string> out;
+  for (const auto& [name, def] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace cloudjoin::impala

@@ -1,0 +1,49 @@
+#ifndef CLOUDJOIN_IMPALA_CATALOG_H_
+#define CLOUDJOIN_IMPALA_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "impala/types.h"
+
+namespace cloudjoin::impala {
+
+/// A column of a registered table.
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kString;
+};
+
+/// A table backed by a delimited text file in the simulated DFS (the Hive
+/// metastore role: schema plus storage location).
+struct TableDef {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::string dfs_path;
+  char separator = '\t';
+
+  /// Index of column `column_name`, or -1.
+  int ColumnIndex(const std::string& column_name) const;
+};
+
+/// Table registry (stand-in for the Hive metastore the Impala frontend
+/// consults during planning).
+class Catalog {
+ public:
+  /// Registers (or replaces) a table definition.
+  Status RegisterTable(TableDef table);
+
+  /// Looks up a table by name (case-sensitive).
+  Result<const TableDef*> GetTable(const std::string& name) const;
+
+  std::vector<std::string> ListTables() const;
+
+ private:
+  std::map<std::string, TableDef> tables_;
+};
+
+}  // namespace cloudjoin::impala
+
+#endif  // CLOUDJOIN_IMPALA_CATALOG_H_

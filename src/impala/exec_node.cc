@@ -1,0 +1,376 @@
+#include "impala/exec_node.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "geosim/wkt_reader.h"
+
+namespace cloudjoin::impala {
+
+namespace {
+
+const geosim::GeometryFactory& GeosFactory() {
+  static const geosim::GeometryFactory factory;
+  return factory;
+}
+
+/// Rough serialized size of a row (for broadcast cost accounting).
+int64_t RowBytes(const Row& row) {
+  int64_t bytes = 0;
+  for (const Value& v : row) {
+    bytes += 8;
+    if (const auto* s = std::get_if<std::string>(&v)) {
+      bytes += static_cast<int64_t>(s->size());
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Scan ----
+
+HdfsScanNode::HdfsScanNode(const TableDef* table, const dfs::SimFile* file,
+                           int64_t offset, int64_t length,
+                           const std::vector<std::unique_ptr<Expr>>* filters,
+                           const std::vector<bool>* needed_slots,
+                           Counters* counters)
+    : table_(table),
+      file_(file),
+      offset_(offset),
+      length_(length),
+      filters_(filters),
+      needed_slots_(needed_slots),
+      counters_(counters) {}
+
+Status HdfsScanNode::Open() {
+  reader_ = std::make_unique<dfs::LineRecordReader>(file_->data(), offset_,
+                                                    length_);
+  return Status::OK();
+}
+
+bool HdfsScanNode::ParseLine(std::string_view line, Row* row) const {
+  std::vector<std::string_view> fields = StrSplit(line, table_->separator);
+  if (fields.size() != table_->columns.size()) return false;
+  row->clear();
+  row->reserve(fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    // Projection pushdown: unreferenced columns stay NULL (never parsed or
+    // copied), as in Impala's materialize-only-needed-slots scans.
+    if (needed_slots_ != nullptr && !(*needed_slots_)[i]) {
+      row->emplace_back();
+      continue;
+    }
+    switch (table_->columns[i].type) {
+      case ColumnType::kInt64: {
+        auto v = ParseInt64(fields[i]);
+        if (!v.ok()) return false;
+        row->emplace_back(*v);
+        break;
+      }
+      case ColumnType::kDouble: {
+        auto v = ParseDouble(fields[i]);
+        if (!v.ok()) return false;
+        row->emplace_back(*v);
+        break;
+      }
+      case ColumnType::kString:
+        row->emplace_back(std::string(fields[i]));
+        break;
+      case ColumnType::kBool:
+        row->emplace_back(fields[i] == "true" || fields[i] == "1");
+        break;
+    }
+  }
+  return true;
+}
+
+Status HdfsScanNode::GetNext(RowBatch* batch, bool* eos) {
+  batch->Clear();
+  std::string_view line;
+  Row row;
+  while (!batch->IsFull()) {
+    if (!reader_->Next(&line)) {
+      *eos = true;
+      return Status::OK();
+    }
+    counters_->Add("scan.lines", 1);
+    if (!ParseLine(line, &row)) {
+      counters_->Add("scan.malformed", 1);
+      continue;
+    }
+    bool keep = true;
+    for (const auto& filter : *filters_) {
+      if (!filter->EvaluatesTrue(&row, nullptr)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) batch->Add(std::move(row));
+    row = Row();
+  }
+  *eos = false;
+  return Status::OK();
+}
+
+// ----------------------------------------------------------- Broadcast ----
+
+Result<std::unique_ptr<BroadcastRight>> BuildBroadcastRight(
+    const TableDef* table, const dfs::SimFile* file,
+    const std::vector<std::unique_ptr<Expr>>* filters,
+    const std::vector<bool>* needed_slots, int geom_slot, double radius,
+    bool cache_parsed, Counters* counters) {
+  CpuTimer watch;
+  auto right = std::make_unique<BroadcastRight>();
+  geosim::WKTReader reader(&GeosFactory());
+
+  HdfsScanNode scan(table, file, 0, file->size(), filters, needed_slots,
+                    counters);
+  CLOUDJOIN_RETURN_IF_ERROR(scan.Open());
+  std::vector<index::StrTree::Entry> entries;
+  RowBatch batch;
+  bool eos = false;
+  while (!eos) {
+    CLOUDJOIN_RETURN_IF_ERROR(scan.GetNext(&batch, &eos));
+    for (Row& row : batch.rows()) {
+      if (geom_slot < 0) {
+        // Cross join: no geometry side-structures, just the rows.
+        right->bytes += RowBytes(row);
+        right->rows.push_back(std::move(row));
+        continue;
+      }
+      const auto* wkt = std::get_if<std::string>(&row[geom_slot]);
+      if (wkt == nullptr) {
+        counters->Add("broadcast.null_geom", 1);
+        continue;
+      }
+      auto parsed = reader.read(*wkt);
+      if (!parsed.ok()) {
+        counters->Add("broadcast.bad_geom", 1);
+        continue;
+      }
+      const int64_t id = static_cast<int64_t>(right->rows.size());
+      geom::Envelope env = (*parsed)->getEnvelopeInternal();
+      env.ExpandBy(radius);
+      entries.push_back(index::StrTree::Entry{env, id});
+      right->bytes += RowBytes(row);
+      right->wkt.push_back(*wkt);
+      if (cache_parsed) {
+        right->parsed.push_back(std::move(parsed).value());
+      }
+      right->rows.push_back(std::move(row));
+    }
+  }
+  right->tree = std::make_unique<index::StrTree>(std::move(entries));
+  right->bytes += right->tree->MemoryBytes();
+  right->build_seconds = watch.ElapsedSeconds();
+  counters->Add("broadcast.rows", static_cast<int64_t>(right->rows.size()));
+  return right;
+}
+
+// --------------------------------------------------------- SpatialJoin ----
+
+SpatialJoinNode::SpatialJoinNode(
+    std::unique_ptr<ExecNode> left_child, const BroadcastRight* right,
+    const SpatialJoinSpec* spec,
+    const std::vector<std::unique_ptr<Expr>>* post_filters,
+    const std::vector<const Expr*>* output_exprs, bool cache_parsed,
+    Counters* counters)
+    : left_child_(std::move(left_child)),
+      right_(right),
+      spec_(spec),
+      post_filters_(post_filters),
+      output_exprs_(output_exprs),
+      cache_parsed_(cache_parsed),
+      counters_(counters) {}
+
+Status SpatialJoinNode::Open() { return left_child_->Open(); }
+
+void SpatialJoinNode::Close() { left_child_->Close(); }
+
+void SpatialJoinNode::ProcessLeftRow(const Row& left_row, RowBatch*) {
+  const auto* left_wkt = std::get_if<std::string>(
+      &left_row[static_cast<size_t>(spec_->left_geom_slot)]);
+  if (left_wkt == nullptr) {
+    counters_->Add("join.null_left_geom", 1);
+    return;
+  }
+  // Probe-side parse (the paper's second parsing site).
+  geosim::WKTReader reader(&GeosFactory());
+  auto parsed = reader.read(*left_wkt);
+  if (!parsed.ok()) {
+    counters_->Add("join.bad_left_geom", 1);
+    return;
+  }
+  const geosim::Geometry& left_geom = **parsed;
+
+  candidates_.clear();
+  right_->tree->Query(left_geom.getEnvelopeInternal(),
+                      [this](int64_t id) { candidates_.push_back(id); });
+  counters_->Add("join.candidates",
+                 static_cast<int64_t>(candidates_.size()));
+
+  if (!cache_parsed_) {
+    // Prepare the UDF argument slots once per probe row; only the right
+    // geometry slot changes per candidate.
+    const bool has_distance =
+        spec_->predicate == SpatialJoinSpec::Predicate::kNearestD;
+    udf_args_.resize(has_distance ? 3 : 2);
+    udf_args_[0] = *left_wkt;
+    if (has_distance) udf_args_[2] = spec_->distance;
+  }
+
+  for (int64_t id : candidates_) {
+    bool match = false;
+    if (cache_parsed_) {
+      // Ablation: reuse parsed geometries instead of re-parsing WKT.
+      const geosim::Geometry* right_geom =
+          right_->parsed[static_cast<size_t>(id)].get();
+      switch (spec_->predicate) {
+        case SpatialJoinSpec::Predicate::kWithin:
+          match = left_geom.within(right_geom);
+          break;
+        case SpatialJoinSpec::Predicate::kNearestD:
+          match = left_geom.isWithinDistance(right_geom, spec_->distance);
+          break;
+        case SpatialJoinSpec::Predicate::kIntersects:
+          match = left_geom.intersects(right_geom);
+          break;
+      }
+    } else {
+      // Faithful ISP-MC refinement: the UDF receives WKT strings and parses
+      // both geometries again (the paper's third parsing site). The args
+      // vector is reused across pairs (Impala passes slot references, not
+      // fresh copies).
+      udf_args_[1] = right_->wkt[static_cast<size_t>(id)];
+      Value v = spec_->refine_udf->fn(udf_args_);
+      const bool* b = std::get_if<bool>(&v);
+      match = b != nullptr && *b;
+    }
+    counters_->Add("join.refinements", 1);
+    if (!match) continue;
+
+    const Row& right_row = right_->rows[static_cast<size_t>(id)];
+    bool keep = true;
+    for (const auto& filter : *post_filters_) {
+      if (!filter->EvaluatesTrue(&left_row, &right_row)) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) continue;
+
+    Row out;
+    out.reserve(output_exprs_->size());
+    for (const Expr* expr : *output_exprs_) {
+      out.push_back(expr->Evaluate(&left_row, &right_row));
+    }
+    pending_.push_back(std::move(out));
+  }
+}
+
+Status SpatialJoinNode::GetNext(RowBatch* batch, bool* eos) {
+  batch->Clear();
+  while (!batch->IsFull()) {
+    if (pending_idx_ < pending_.size()) {
+      batch->Add(std::move(pending_[pending_idx_++]));
+      continue;
+    }
+    pending_.clear();
+    pending_idx_ = 0;
+    if (left_idx_ < left_batch_.NumRows()) {
+      ProcessLeftRow(left_batch_.row(left_idx_++), batch);
+      continue;
+    }
+    if (left_eos_) break;
+    CLOUDJOIN_RETURN_IF_ERROR(left_child_->GetNext(&left_batch_, &left_eos_));
+    left_idx_ = 0;
+  }
+  *eos = pending_idx_ >= pending_.size() &&
+         left_idx_ >= left_batch_.NumRows() && left_eos_;
+  return Status::OK();
+}
+
+// ----------------------------------------------------------- CrossJoin ----
+
+CrossJoinNode::CrossJoinNode(
+    std::unique_ptr<ExecNode> left_child, const BroadcastRight* right,
+    const std::vector<std::unique_ptr<Expr>>* post_filters,
+    const std::vector<const Expr*>* output_exprs, Counters* counters)
+    : left_child_(std::move(left_child)),
+      right_(right),
+      post_filters_(post_filters),
+      output_exprs_(output_exprs),
+      counters_(counters) {}
+
+Status CrossJoinNode::Open() { return left_child_->Open(); }
+
+void CrossJoinNode::Close() { left_child_->Close(); }
+
+Status CrossJoinNode::GetNext(RowBatch* batch, bool* eos) {
+  batch->Clear();
+  while (!batch->IsFull()) {
+    if (pending_idx_ < pending_.size()) {
+      batch->Add(std::move(pending_[pending_idx_++]));
+      continue;
+    }
+    pending_.clear();
+    pending_idx_ = 0;
+    if (left_idx_ < left_batch_.NumRows()) {
+      const Row& left_row = left_batch_.row(left_idx_++);
+      for (const Row& right_row : right_->rows) {
+        counters_->Add("join.pairs", 1);
+        bool keep = true;
+        for (const auto& filter : *post_filters_) {
+          if (!filter->EvaluatesTrue(&left_row, &right_row)) {
+            keep = false;
+            break;
+          }
+        }
+        if (!keep) continue;
+        Row out;
+        out.reserve(output_exprs_->size());
+        for (const Expr* expr : *output_exprs_) {
+          out.push_back(expr->Evaluate(&left_row, &right_row));
+        }
+        pending_.push_back(std::move(out));
+      }
+      continue;
+    }
+    if (left_eos_) break;
+    CLOUDJOIN_RETURN_IF_ERROR(left_child_->GetNext(&left_batch_, &left_eos_));
+    left_idx_ = 0;
+  }
+  *eos = pending_idx_ >= pending_.size() &&
+         left_idx_ >= left_batch_.NumRows() && left_eos_;
+  return Status::OK();
+}
+
+// ------------------------------------------------------------- Project ----
+
+ProjectNode::ProjectNode(std::unique_ptr<ExecNode> child,
+                         const std::vector<const Expr*>* output_exprs)
+    : child_(std::move(child)), output_exprs_(output_exprs) {}
+
+Status ProjectNode::Open() { return child_->Open(); }
+
+void ProjectNode::Close() { child_->Close(); }
+
+Status ProjectNode::GetNext(RowBatch* batch, bool* eos) {
+  batch->Clear();
+  bool child_eos = false;
+  CLOUDJOIN_RETURN_IF_ERROR(child_->GetNext(&child_batch_, &child_eos));
+  for (const Row& row : child_batch_.rows()) {
+    Row out;
+    out.reserve(output_exprs_->size());
+    for (const Expr* expr : *output_exprs_) {
+      out.push_back(expr->Evaluate(&row, nullptr));
+    }
+    batch->Add(std::move(out));
+  }
+  *eos = child_eos;
+  return Status::OK();
+}
+
+}  // namespace cloudjoin::impala

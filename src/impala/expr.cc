@@ -1,0 +1,234 @@
+#include "impala/expr.h"
+
+#include <cmath>
+#include <mutex>
+
+#include "common/logging.h"
+#include "geosim/geometry.h"
+#include "geosim/wkt_reader.h"
+
+namespace cloudjoin::impala {
+
+namespace {
+
+/// Numeric view of a value (ints promote to double for mixed arithmetic).
+bool AsDouble(const Value& v, double* out) {
+  if (const auto* i = std::get_if<int64_t>(&v)) {
+    *out = static_cast<double>(*i);
+    return true;
+  }
+  if (const auto* d = std::get_if<double>(&v)) {
+    *out = *d;
+    return true;
+  }
+  return false;
+}
+
+bool BothInt(const Value& a, const Value& b) {
+  return std::holds_alternative<int64_t>(a) &&
+         std::holds_alternative<int64_t>(b);
+}
+
+}  // namespace
+
+BinaryExpr::BinaryExpr(std::string op, std::unique_ptr<Expr> lhs,
+                       std::unique_ptr<Expr> rhs)
+    : op_(std::move(op)), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {
+  if (op_ == "AND" || op_ == "OR" || op_ == "=" || op_ == "<>" ||
+      op_ == "!=" || op_ == "<" || op_ == ">" || op_ == "<=" || op_ == ">=") {
+    type_ = ColumnType::kBool;
+  } else if (lhs_->type() == ColumnType::kInt64 &&
+             rhs_->type() == ColumnType::kInt64) {
+    type_ = ColumnType::kInt64;
+  } else {
+    type_ = ColumnType::kDouble;
+  }
+}
+
+Value BinaryExpr::Evaluate(const Row* left, const Row* right) const {
+  if (op_ == "AND" || op_ == "OR") {
+    // Short-circuit; NULL treated as false (sufficient for this engine).
+    bool l = lhs_->EvaluatesTrue(left, right);
+    if (op_ == "AND" && !l) return false;
+    if (op_ == "OR" && l) return true;
+    return rhs_->EvaluatesTrue(left, right);
+  }
+
+  Value lv = lhs_->Evaluate(left, right);
+  Value rv = rhs_->Evaluate(left, right);
+  if (IsNull(lv) || IsNull(rv)) return Value{};
+
+  // String comparison.
+  if (std::holds_alternative<std::string>(lv) &&
+      std::holds_alternative<std::string>(rv)) {
+    const auto& ls = std::get<std::string>(lv);
+    const auto& rs = std::get<std::string>(rv);
+    if (op_ == "=") return ls == rs;
+    if (op_ == "<>" || op_ == "!=") return ls != rs;
+    if (op_ == "<") return ls < rs;
+    if (op_ == ">") return ls > rs;
+    if (op_ == "<=") return ls <= rs;
+    if (op_ == ">=") return ls >= rs;
+    return Value{};
+  }
+
+  // Bool equality.
+  if (std::holds_alternative<bool>(lv) && std::holds_alternative<bool>(rv)) {
+    bool lb = std::get<bool>(lv);
+    bool rb = std::get<bool>(rv);
+    if (op_ == "=") return lb == rb;
+    if (op_ == "<>" || op_ == "!=") return lb != rb;
+    return Value{};
+  }
+
+  double ld = 0, rd = 0;
+  if (!AsDouble(lv, &ld) || !AsDouble(rv, &rd)) return Value{};
+
+  if (op_ == "=") return ld == rd;
+  if (op_ == "<>" || op_ == "!=") return ld != rd;
+  if (op_ == "<") return ld < rd;
+  if (op_ == ">") return ld > rd;
+  if (op_ == "<=") return ld <= rd;
+  if (op_ == ">=") return ld >= rd;
+
+  if (BothInt(lv, rv) && op_ != "/") {
+    int64_t li = std::get<int64_t>(lv);
+    int64_t ri = std::get<int64_t>(rv);
+    if (op_ == "+") return li + ri;
+    if (op_ == "-") return li - ri;
+    if (op_ == "*") return li * ri;
+  }
+  if (op_ == "+") return ld + rd;
+  if (op_ == "-") return ld - rd;
+  if (op_ == "*") return ld * rd;
+  if (op_ == "/") return rd == 0.0 ? Value{} : Value{ld / rd};
+  return Value{};
+}
+
+UdfRegistry& UdfRegistry::Global() {
+  static UdfRegistry* registry = new UdfRegistry();
+  return *registry;
+}
+
+void UdfRegistry::Register(ScalarUdf udf) {
+  udfs_[udf.name] = std::move(udf);
+}
+
+Result<const ScalarUdf*> UdfRegistry::Lookup(const std::string& name,
+                                             int argc) const {
+  auto it = udfs_.find(name);
+  if (it == udfs_.end()) {
+    return Status::NotFound("unknown function: " + name);
+  }
+  const ScalarUdf& udf = it->second;
+  if (udf.arity >= 0 && udf.arity != argc) {
+    return Status::InvalidArgument(
+        name + " expects " + std::to_string(udf.arity) + " argument(s), got " +
+        std::to_string(argc));
+  }
+  return static_cast<const ScalarUdf*>(&udf);
+}
+
+std::vector<std::string> UdfRegistry::ListNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, udf] : udfs_) names.push_back(name);
+  return names;
+}
+
+namespace {
+
+/// Parses a WKT value through the GEOS-role library. Returns nullptr for
+/// NULL/invalid input (the row then fails the predicate, mirroring the
+/// `.filter(_._2.isSuccess)` drop in the paper's SpatialSpark listing).
+std::unique_ptr<geosim::Geometry> ParseGeosWkt(const Value& v) {
+  const auto* s = std::get_if<std::string>(&v);
+  if (s == nullptr) return nullptr;
+  static const geosim::GeometryFactory factory;
+  geosim::WKTReader reader(&factory);
+  auto parsed = reader.read(*s);
+  if (!parsed.ok()) return nullptr;
+  return std::move(parsed).value();
+}
+
+double GetNumeric(const Value& v, double fallback) {
+  double out = fallback;
+  AsDouble(v, &out);
+  return out;
+}
+
+}  // namespace
+
+void RegisterSpatialUdfs() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    UdfRegistry& registry = UdfRegistry::Global();
+
+    // ST_WITHIN(geom_wkt, geom_wkt) -> BOOLEAN. Both arguments are parsed
+    // per call — the paper's documented third parsing site ("applying UDFs
+    // for evaluating spatial relationships of paired tuples").
+    registry.Register(ScalarUdf{
+        "ST_WITHIN", 2, ColumnType::kBool, [](const std::vector<Value>& args) {
+          auto a = ParseGeosWkt(args[0]);
+          auto b = ParseGeosWkt(args[1]);
+          if (!a || !b) return Value{};
+          return Value{a->within(b.get())};
+        }});
+
+    // ST_NEARESTD(geom_wkt, geom_wkt, distance) -> BOOLEAN: true when the
+    // geometries are within `distance`.
+    registry.Register(ScalarUdf{
+        "ST_NEARESTD", 3, ColumnType::kBool,
+        [](const std::vector<Value>& args) {
+          auto a = ParseGeosWkt(args[0]);
+          auto b = ParseGeosWkt(args[1]);
+          if (!a || !b) return Value{};
+          return Value{a->isWithinDistance(b.get(), GetNumeric(args[2], 0))};
+        }});
+
+    registry.Register(ScalarUdf{
+        "ST_INTERSECTS", 2, ColumnType::kBool,
+        [](const std::vector<Value>& args) {
+          auto a = ParseGeosWkt(args[0]);
+          auto b = ParseGeosWkt(args[1]);
+          if (!a || !b) return Value{};
+          return Value{a->intersects(b.get())};
+        }});
+
+    registry.Register(ScalarUdf{
+        "ST_DISTANCE", 2, ColumnType::kDouble,
+        [](const std::vector<Value>& args) {
+          auto a = ParseGeosWkt(args[0]);
+          auto b = ParseGeosWkt(args[1]);
+          if (!a || !b) return Value{};
+          return Value{a->distance(b.get())};
+        }});
+
+    registry.Register(ScalarUdf{
+        "ST_X", 1, ColumnType::kDouble, [](const std::vector<Value>& args) {
+          auto g = ParseGeosWkt(args[0]);
+          if (!g || g->getGeometryTypeId() != geosim::GeometryTypeId::kPoint) {
+            return Value{};
+          }
+          return Value{static_cast<geosim::PointImpl*>(g.get())->getX()};
+        }});
+
+    registry.Register(ScalarUdf{
+        "ST_Y", 1, ColumnType::kDouble, [](const std::vector<Value>& args) {
+          auto g = ParseGeosWkt(args[0]);
+          if (!g || g->getGeometryTypeId() != geosim::GeometryTypeId::kPoint) {
+            return Value{};
+          }
+          return Value{static_cast<geosim::PointImpl*>(g.get())->getY()};
+        }});
+
+    registry.Register(ScalarUdf{
+        "ST_NUMPOINTS", 1, ColumnType::kInt64,
+        [](const std::vector<Value>& args) {
+          auto g = ParseGeosWkt(args[0]);
+          if (!g) return Value{};
+          return Value{static_cast<int64_t>(g->getNumPoints())};
+        }});
+  });
+}
+
+}  // namespace cloudjoin::impala

@@ -1,0 +1,115 @@
+#include "impala/lexer.h"
+
+#include <cctype>
+
+namespace cloudjoin::impala {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      token.kind = TokenKind::kIdentifier;
+      token.raw = sql.substr(start, i - start);
+      token.text = token.raw;
+      for (char& ch : token.text) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E' ||
+                       ((sql[i] == '+' || sql[i] == '-') && i > start &&
+                        (sql[i - 1] == 'e' || sql[i - 1] == 'E')))) {
+        ++i;
+      }
+      token.kind = TokenKind::kNumber;
+      token.raw = sql.substr(start, i - start);
+      token.text = token.raw;
+    } else if (c == '\'') {
+      ++i;
+      std::string body;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            body.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        body.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(token.offset));
+      }
+      token.kind = TokenKind::kString;
+      token.raw = body;
+      token.text = body;
+    } else {
+      // Multi-char operators first.
+      static const char* kTwoChar[] = {"<=", ">=", "<>", "!="};
+      std::string two = sql.substr(i, 2);
+      bool matched = false;
+      for (const char* op : kTwoChar) {
+        if (two == op) {
+          token.kind = TokenKind::kSymbol;
+          token.text = two;
+          token.raw = two;
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        static const std::string kSingles = "(),.*=<>;+-/";
+        if (kSingles.find(c) == std::string::npos) {
+          return Status::ParseError(std::string("unexpected character '") +
+                                    c + "' at offset " +
+                                    std::to_string(token.offset));
+        }
+        token.kind = TokenKind::kSymbol;
+        token.text = std::string(1, c);
+        token.raw = token.text;
+        ++i;
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace cloudjoin::impala

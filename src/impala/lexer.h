@@ -1,0 +1,34 @@
+#ifndef CLOUDJOIN_IMPALA_LEXER_H_
+#define CLOUDJOIN_IMPALA_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cloudjoin::impala {
+
+/// SQL token kinds.
+enum class TokenKind {
+  kIdentifier,  // foo, pnt (keywords are identifiers classified later)
+  kNumber,      // 123, 4.5, -1e3
+  kString,      // 'text'
+  kSymbol,      // ( ) , . * = < > <= >= <> != ; + - /
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Uppercased for identifiers (SQL is case-insensitive); raw otherwise.
+  std::string text;
+  /// Original spelling (identifiers keep case; used for aliases).
+  std::string raw;
+  size_t offset = 0;
+};
+
+/// Tokenizes a SQL string. Returns a trailing kEnd token on success.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace cloudjoin::impala
+
+#endif  // CLOUDJOIN_IMPALA_LEXER_H_

@@ -1,0 +1,26 @@
+#ifndef CLOUDJOIN_IMPALA_PARSER_H_
+#define CLOUDJOIN_IMPALA_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "impala/ast.h"
+
+namespace cloudjoin::impala {
+
+/// Parses the SQL dialect of the extended frontend:
+///
+///   SELECT <item>[, ...] FROM <table> [<alias>]
+///     [SPATIAL JOIN | CROSS JOIN | [INNER] JOIN <table> [<alias>]
+///        [ON <expr>]]
+///     [WHERE <expr>] [GROUP BY <cols>] [LIMIT <n>]
+///
+/// `SPATIAL JOIN` is the paper's frontend extension; the spatial predicate
+/// (`ST_WITHIN`, `ST_NEARESTD`, ...) is written in the WHERE clause exactly
+/// as in the paper's Fig. 1 examples.
+Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& sql);
+
+}  // namespace cloudjoin::impala
+
+#endif  // CLOUDJOIN_IMPALA_PARSER_H_

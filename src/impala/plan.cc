@@ -1,0 +1,126 @@
+#include "impala/plan.h"
+
+#include <sstream>
+
+namespace cloudjoin::impala {
+
+const char* PlanNodeKindToString(PlanNode::Kind kind) {
+  switch (kind) {
+    case PlanNode::Kind::kHdfsScan:
+      return "HDFS SCAN";
+    case PlanNode::Kind::kExchange:
+      return "EXCHANGE";
+    case PlanNode::Kind::kSpatialJoin:
+      return "SPATIAL JOIN";
+    case PlanNode::Kind::kCrossJoin:
+      return "CROSS JOIN";
+    case PlanNode::Kind::kProject:
+      return "PROJECT";
+    case PlanNode::Kind::kAggregate:
+      return "AGGREGATE";
+    case PlanNode::Kind::kLimit:
+      return "LIMIT";
+  }
+  return "?";
+}
+
+namespace {
+
+void ExplainNode(const PlanNode& node, int depth, std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  *os << PlanNodeKindToString(node.kind);
+  if (!node.detail.empty()) *os << " [" << node.detail << "]";
+  *os << "\n";
+  for (const auto& child : node.children) {
+    ExplainNode(*child, depth + 1, os);
+  }
+}
+
+std::unique_ptr<PlanNode> MakeNode(PlanNode::Kind kind, std::string detail) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = kind;
+  node->detail = std::move(detail);
+  return node;
+}
+
+std::string PredicateName(const SpatialJoinSpec& spec) {
+  switch (spec.predicate) {
+    case SpatialJoinSpec::Predicate::kWithin:
+      return "ST_WITHIN";
+    case SpatialJoinSpec::Predicate::kNearestD:
+      return "ST_NEARESTD(D=" + std::to_string(spec.distance) + ")";
+    case SpatialJoinSpec::Predicate::kIntersects:
+      return "ST_INTERSECTS";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string QueryPlan::Explain() const {
+  std::ostringstream os;
+  os << "fragments: " << num_fragments << "\n";
+  if (root != nullptr) ExplainNode(*root, 0, &os);
+  return os.str();
+}
+
+Result<QueryPlan> BuildPlan(const AnalyzedQuery& query) {
+  QueryPlan plan;
+
+  std::unique_ptr<PlanNode> current;
+  if (query.join_kind == JoinKind::kNone) {
+    current = MakeNode(PlanNode::Kind::kHdfsScan,
+                       query.left_table->name + ", " +
+                           std::to_string(query.left_filters.size()) +
+                           " pushed predicate(s)");
+    auto project = MakeNode(PlanNode::Kind::kProject,
+                            std::to_string(query.has_aggregation
+                                               ? query.group_by.size() +
+                                                     query.aggregates.size()
+                                               : query.projections.size()) +
+                                " expr(s)");
+    project->children.push_back(std::move(current));
+    current = std::move(project);
+    plan.num_fragments = 2;  // scan fragment + coordinator
+  } else {
+    auto left_scan = MakeNode(PlanNode::Kind::kHdfsScan,
+                              query.left_table->name + " (streamed)");
+    auto right_scan = MakeNode(PlanNode::Kind::kHdfsScan,
+                               query.right_table->name + " (broadcast side)");
+    auto exchange = MakeNode(PlanNode::Kind::kExchange, "BROADCAST");
+    exchange->children.push_back(std::move(right_scan));
+
+    std::unique_ptr<PlanNode> join;
+    if (query.join_kind == JoinKind::kSpatial) {
+      join = MakeNode(PlanNode::Kind::kSpatialJoin,
+                      PredicateName(*query.spatial_join) + ", R-tree indexed");
+    } else {
+      join = MakeNode(PlanNode::Kind::kCrossJoin,
+                      std::to_string(query.post_join_filters.size()) +
+                          " conjunct(s)");
+    }
+    join->children.push_back(std::move(left_scan));
+    join->children.push_back(std::move(exchange));
+    current = std::move(join);
+    plan.num_fragments = 3;  // right scan, left scan + join, coordinator
+  }
+
+  if (query.has_aggregation) {
+    auto agg = MakeNode(PlanNode::Kind::kAggregate,
+                        std::to_string(query.group_by.size()) + " key(s), " +
+                            std::to_string(query.aggregates.size()) +
+                            " aggregate(s)");
+    agg->children.push_back(std::move(current));
+    current = std::move(agg);
+  }
+  if (query.limit >= 0) {
+    auto limit =
+        MakeNode(PlanNode::Kind::kLimit, std::to_string(query.limit));
+    limit->children.push_back(std::move(current));
+    current = std::move(limit);
+  }
+  plan.root = std::move(current);
+  return plan;
+}
+
+}  // namespace cloudjoin::impala

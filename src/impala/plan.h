@@ -1,0 +1,56 @@
+#ifndef CLOUDJOIN_IMPALA_PLAN_H_
+#define CLOUDJOIN_IMPALA_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "impala/analyzer.h"
+
+namespace cloudjoin::impala {
+
+/// A node of the physical plan tree (the paper's "AST nodes" of the
+/// execution plan). The descriptors are what EXPLAIN prints; the backend
+/// (`exec_node.h`) instantiates one exec object per plan node per fragment
+/// instance.
+struct PlanNode {
+  enum class Kind {
+    kHdfsScan,
+    kExchange,     // broadcast or merge
+    kSpatialJoin,  // the paper's extension node (subclass of BlockJoin)
+    kCrossJoin,
+    kProject,
+    kAggregate,
+    kLimit,
+  };
+
+  Kind kind;
+  std::string detail;
+  std::vector<std::unique_ptr<PlanNode>> children;
+};
+
+const char* PlanNodeKindToString(PlanNode::Kind kind);
+
+/// A physical plan: the node tree plus its fragmentation (how many plan
+/// fragments the coordinator distributes).
+struct QueryPlan {
+  std::unique_ptr<PlanNode> root;
+  int num_fragments = 1;
+
+  /// Impala-style indented EXPLAIN rendering.
+  std::string Explain() const;
+};
+
+/// Builds the physical plan for an analyzed query:
+///
+///   scan(right) -> exchange(broadcast) -+
+///                                       +-> spatial-join -> [agg] -> [limit]
+///   scan(left)  -----------------------+
+///
+/// Non-join queries plan as scan -> project -> [agg] -> [limit].
+Result<QueryPlan> BuildPlan(const AnalyzedQuery& query);
+
+}  // namespace cloudjoin::impala
+
+#endif  // CLOUDJOIN_IMPALA_PLAN_H_

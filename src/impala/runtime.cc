@@ -1,0 +1,298 @@
+#include "impala/runtime.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "common/stopwatch.h"
+#include "impala/analyzer.h"
+#include "impala/exec_node.h"
+#include "impala/parser.h"
+#include "impala/plan.h"
+
+namespace cloudjoin::impala {
+
+namespace {
+
+/// Running state of one aggregate within one group.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0.0;
+  bool has_value = false;
+  Value min;
+  Value max;
+  std::set<Value> distinct_values;
+
+  void Update(const AggregateSpec& spec, const Value& v) {
+    switch (spec.kind) {
+      case AggregateSpec::Kind::kCount:
+        if (IsNull(v)) return;
+        if (spec.distinct) {
+          distinct_values.insert(v);
+        } else {
+          ++count;
+        }
+        return;
+      case AggregateSpec::Kind::kSum:
+      case AggregateSpec::Kind::kAvg: {
+        if (IsNull(v)) return;
+        double d = 0.0;
+        if (const auto* i = std::get_if<int64_t>(&v)) {
+          d = static_cast<double>(*i);
+        } else if (const auto* f = std::get_if<double>(&v)) {
+          d = *f;
+        } else {
+          return;
+        }
+        sum += d;
+        ++count;
+        return;
+      }
+      case AggregateSpec::Kind::kMin:
+      case AggregateSpec::Kind::kMax:
+        if (IsNull(v)) return;
+        if (!has_value) {
+          min = v;
+          max = v;
+          has_value = true;
+        } else {
+          if (v < min) min = v;
+          if (max < v) max = v;
+        }
+        return;
+    }
+  }
+
+  Value Final(const AggregateSpec& spec) const {
+    switch (spec.kind) {
+      case AggregateSpec::Kind::kCount:
+        return spec.distinct ? static_cast<int64_t>(distinct_values.size())
+                             : count;
+      case AggregateSpec::Kind::kSum:
+        return sum;
+      case AggregateSpec::Kind::kAvg:
+        return count == 0 ? Value{} : Value{sum / static_cast<double>(count)};
+      case AggregateSpec::Kind::kMin:
+        return has_value ? min : Value{};
+      case AggregateSpec::Kind::kMax:
+        return has_value ? max : Value{};
+    }
+    return Value{};
+  }
+};
+
+}  // namespace
+
+ImpalaRuntime::ImpalaRuntime(dfs::SimFileSystem* fs, Catalog catalog)
+    : fs_(fs), catalog_(std::move(catalog)) {
+  CLOUDJOIN_CHECK(fs != nullptr);
+  RegisterSpatialUdfs();
+}
+
+Result<std::string> ImpalaRuntime::Explain(const std::string& sql) const {
+  CLOUDJOIN_ASSIGN_OR_RETURN(std::unique_ptr<SelectStatement> stmt,
+                             ParseSelect(sql));
+  Analyzer analyzer(&catalog_);
+  CLOUDJOIN_ASSIGN_OR_RETURN(std::unique_ptr<AnalyzedQuery> query,
+                             analyzer.Analyze(*stmt));
+  CLOUDJOIN_ASSIGN_OR_RETURN(QueryPlan plan, BuildPlan(*query));
+  return plan.Explain();
+}
+
+Result<QueryResult> ImpalaRuntime::Execute(const std::string& sql,
+                                           const QueryOptions& options) {
+  QueryResult result;
+
+  // ---- Frontend: parse, analyze, plan (measured). ----
+  CpuTimer frontend_watch;
+  CLOUDJOIN_ASSIGN_OR_RETURN(std::unique_ptr<SelectStatement> stmt,
+                             ParseSelect(sql));
+  Analyzer analyzer(&catalog_);
+  CLOUDJOIN_ASSIGN_OR_RETURN(std::unique_ptr<AnalyzedQuery> query,
+                             analyzer.Analyze(*stmt));
+  CLOUDJOIN_ASSIGN_OR_RETURN(QueryPlan plan, BuildPlan(*query));
+  result.metrics.explain = plan.Explain();
+  result.metrics.num_fragments = plan.num_fragments;
+  result.metrics.frontend_seconds = frontend_watch.ElapsedSeconds();
+
+  // ---- Output expressions fed to the leaf executors. ----
+  // Aggregating queries stream [group keys..., aggregate inputs...]; the
+  // coordinator merges. Non-aggregating queries stream the projections.
+  std::vector<std::unique_ptr<Expr>> owned;
+  std::vector<const Expr*> output_exprs;
+  if (query->has_aggregation) {
+    for (const auto& key : query->group_by) output_exprs.push_back(key.get());
+    for (const auto& agg : query->aggregates) {
+      if (agg.arg != nullptr) {
+        output_exprs.push_back(agg.arg.get());
+      } else {
+        owned.push_back(std::make_unique<LiteralExpr>(Value{int64_t{1}},
+                                                      ColumnType::kInt64));
+        output_exprs.push_back(owned.back().get());
+      }
+    }
+  } else {
+    for (const auto& proj : query->projections) {
+      output_exprs.push_back(proj.get());
+    }
+    // Hidden ORDER BY slots ride along and are dropped after sorting.
+    for (const auto& proj : query->hidden_projections) {
+      output_exprs.push_back(proj.get());
+    }
+  }
+
+  // ---- Projection pushdown: which columns does the query touch? ----
+  std::vector<bool> left_needed(query->left_table->columns.size(), false);
+  std::vector<bool> right_needed(
+      query->right_table != nullptr ? query->right_table->columns.size() : 0,
+      false);
+  {
+    std::vector<std::pair<int, int>> slots;
+    for (const Expr* expr : output_exprs) expr->CollectSlots(&slots);
+    for (const auto& f : query->left_filters) f->CollectSlots(&slots);
+    for (const auto& f : query->right_filters) f->CollectSlots(&slots);
+    for (const auto& f : query->post_join_filters) f->CollectSlots(&slots);
+    if (query->spatial_join) {
+      slots.emplace_back(0, query->spatial_join->left_geom_slot);
+      slots.emplace_back(1, query->spatial_join->right_geom_slot);
+    }
+    for (const auto& [side, slot] : slots) {
+      std::vector<bool>& needed = side == 0 ? left_needed : right_needed;
+      if (slot >= 0 && slot < static_cast<int>(needed.size())) {
+        needed[static_cast<size_t>(slot)] = true;
+      }
+    }
+  }
+
+  // ---- Broadcast build (right side), once per query. ----
+  std::unique_ptr<BroadcastRight> right;
+  if (query->join_kind != JoinKind::kNone) {
+    CLOUDJOIN_ASSIGN_OR_RETURN(const dfs::SimFile* right_file,
+                               fs_->GetFile(query->right_table->dfs_path));
+    int geom_slot = -1;
+    double radius = 0.0;
+    if (query->spatial_join) {
+      geom_slot = query->spatial_join->right_geom_slot;
+      if (query->spatial_join->predicate ==
+          SpatialJoinSpec::Predicate::kNearestD) {
+        radius = query->spatial_join->distance;
+      }
+    }
+    CLOUDJOIN_ASSIGN_OR_RETURN(
+        right, BuildBroadcastRight(query->right_table, right_file,
+                                   &query->right_filters, &right_needed,
+                                   geom_slot, radius,
+                                   options.cache_parsed_geometries,
+                                   &result.metrics.counters));
+    result.metrics.right_build_seconds = right->build_seconds;
+    result.metrics.broadcast_bytes = right->bytes;
+  }
+
+  // ---- Backend: one fragment instance per left scan range. ----
+  CLOUDJOIN_ASSIGN_OR_RETURN(const dfs::SimFile* left_file,
+                             fs_->GetFile(query->left_table->dfs_path));
+  for (const dfs::BlockInfo& block : left_file->blocks()) {
+    CpuTimer range_watch;
+    auto scan = std::make_unique<HdfsScanNode>(
+        query->left_table, left_file, block.offset, block.length,
+        &query->left_filters, &left_needed, &result.metrics.counters);
+    std::unique_ptr<ExecNode> tree;
+    if (query->join_kind == JoinKind::kSpatial) {
+      tree = std::make_unique<SpatialJoinNode>(
+          std::move(scan), right.get(), &*query->spatial_join,
+          &query->post_join_filters, &output_exprs,
+          options.cache_parsed_geometries, &result.metrics.counters);
+    } else if (query->join_kind != JoinKind::kNone) {
+      tree = std::make_unique<CrossJoinNode>(
+          std::move(scan), right.get(), &query->post_join_filters,
+          &output_exprs, &result.metrics.counters);
+    } else {
+      tree = std::make_unique<ProjectNode>(std::move(scan), &output_exprs);
+    }
+
+    CLOUDJOIN_RETURN_IF_ERROR(tree->Open());
+    RowBatch batch;
+    bool eos = false;
+    while (!eos) {
+      CLOUDJOIN_RETURN_IF_ERROR(tree->GetNext(&batch, &eos));
+      for (Row& row : batch.rows()) {
+        result.rows.push_back(std::move(row));
+      }
+    }
+    tree->Close();
+
+    ScanRangeTiming timing;
+    timing.seconds = range_watch.ElapsedSeconds();
+    timing.preferred_node =
+        block.replica_nodes.empty() ? -1 : block.replica_nodes[0];
+    timing.bytes = block.length;
+    result.metrics.scan_tasks.push_back(timing);
+  }
+
+  // ---- Coordinator: aggregation merge. ----
+  if (query->has_aggregation) {
+    const size_t num_keys = query->group_by.size();
+    const size_t num_aggs = query->aggregates.size();
+    std::map<Row, std::vector<AggState>> groups;
+    for (const Row& row : result.rows) {
+      Row key(row.begin(), row.begin() + static_cast<int64_t>(num_keys));
+      auto [it, inserted] =
+          groups.try_emplace(std::move(key), std::vector<AggState>(num_aggs));
+      for (size_t j = 0; j < num_aggs; ++j) {
+        it->second[j].Update(query->aggregates[j], row[num_keys + j]);
+      }
+    }
+    result.rows.clear();
+    for (const auto& [key, states] : groups) {
+      Row out = key;
+      for (size_t j = 0; j < num_aggs; ++j) {
+        out.push_back(states[j].Final(query->aggregates[j]));
+      }
+      result.rows.push_back(std::move(out));
+    }
+    result.column_names = query->output_names;  // group columns
+    for (const auto& agg : query->aggregates) {
+      if (!agg.hidden) result.column_names.push_back(agg.output_name);
+    }
+  } else {
+    result.column_names = query->output_names;
+  }
+
+  // ---- Coordinator: HAVING, ORDER BY, hidden-column drop, LIMIT. ----
+  if (query->having != nullptr) {
+    std::vector<Row> kept;
+    kept.reserve(result.rows.size());
+    for (Row& row : result.rows) {
+      if (query->having->EvaluatesTrue(&row, nullptr)) {
+        kept.push_back(std::move(row));
+      }
+    }
+    result.rows = std::move(kept);
+  }
+  if (!query->order_by.empty()) {
+    std::stable_sort(
+        result.rows.begin(), result.rows.end(),
+        [&query](const Row& a, const Row& b) {
+          for (const OrderKey& key : query->order_by) {
+            Value va = key.expr->Evaluate(&a, nullptr);
+            Value vb = key.expr->Evaluate(&b, nullptr);
+            if (va == vb) continue;
+            bool less = va < vb;  // NULL (monostate) sorts first
+            return key.ascending ? less : !less;
+          }
+          return false;
+        });
+  }
+  const size_t visible = static_cast<size_t>(query->NumVisibleColumns());
+  for (Row& row : result.rows) {
+    if (row.size() > visible) row.resize(visible);
+  }
+  if (query->limit >= 0 &&
+      static_cast<int64_t>(result.rows.size()) > query->limit) {
+    result.rows.resize(static_cast<size_t>(query->limit));
+  }
+  return result;
+}
+
+}  // namespace cloudjoin::impala

@@ -1,0 +1,30 @@
+#include "impala/types.h"
+
+#include "common/strings.h"
+
+namespace cloudjoin::impala {
+
+const char* ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "BIGINT";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "STRING";
+    case ColumnType::kBool:
+      return "BOOLEAN";
+  }
+  return "UNKNOWN";
+}
+
+std::string ValueToString(const Value& v) {
+  if (IsNull(v)) return "NULL";
+  if (const auto* i = std::get_if<int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) return FormatDouble(*d);
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  if (const auto* b = std::get_if<bool>(&v)) return *b ? "true" : "false";
+  return "?";
+}
+
+}  // namespace cloudjoin::impala

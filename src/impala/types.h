@@ -1,0 +1,59 @@
+#ifndef CLOUDJOIN_IMPALA_TYPES_H_
+#define CLOUDJOIN_IMPALA_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace cloudjoin::impala {
+
+/// Column types of the SQL layer. Geometry travels as STRING (WKT), exactly
+/// as in the paper's non-invasive ISP-MC integration ("we represent
+/// geometry as strings to bypass [no UDT support]").
+enum class ColumnType { kInt64, kDouble, kString, kBool };
+
+const char* ColumnTypeToString(ColumnType type);
+
+/// A runtime cell value. `monostate` is SQL NULL.
+using Value = std::variant<std::monostate, int64_t, double, std::string, bool>;
+
+/// True if `v` is NULL.
+inline bool IsNull(const Value& v) {
+  return std::holds_alternative<std::monostate>(v);
+}
+
+/// Renders a value for result printing ("NULL" for nulls).
+std::string ValueToString(const Value& v);
+
+/// A materialized tuple (one slot per projected column).
+using Row = std::vector<Value>;
+
+/// The unit of data flow between exec nodes, as in Impala: operators
+/// produce and consume fixed-capacity batches of rows, amortizing per-call
+/// overhead over `kCapacity` tuples (contrast with the per-record closure
+/// pipeline in `spark::Rdd`).
+class RowBatch {
+ public:
+  static constexpr int kCapacity = 1024;
+
+  bool IsFull() const { return static_cast<int>(rows_.size()) >= kCapacity; }
+  bool IsEmpty() const { return rows_.empty(); }
+  int NumRows() const { return static_cast<int>(rows_.size()); }
+
+  void Add(Row row) { rows_.push_back(std::move(row)); }
+  void Clear() { rows_.clear(); }
+
+  const Row& row(int i) const { return rows_[i]; }
+  Row& row(int i) { return rows_[i]; }
+
+  std::vector<Row>& rows() { return rows_; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+}  // namespace cloudjoin::impala
+
+#endif  // CLOUDJOIN_IMPALA_TYPES_H_

@@ -1,0 +1,67 @@
+#include "index/grid_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace cloudjoin::index {
+
+UniformGrid::UniformGrid(const geom::Envelope& extent, int cols, int rows)
+    : extent_(extent), cols_(cols), rows_(rows) {
+  CLOUDJOIN_CHECK(cols >= 1);
+  CLOUDJOIN_CHECK(rows >= 1);
+  CLOUDJOIN_CHECK(!extent.IsEmpty());
+  cell_w_ = extent.Width() / cols;
+  cell_h_ = extent.Height() / rows;
+  if (cell_w_ <= 0) cell_w_ = 1.0;
+  if (cell_h_ <= 0) cell_h_ = 1.0;
+  cells_.resize(static_cast<size_t>(cols) * rows);
+}
+
+std::pair<int, int> UniformGrid::CellOf(double x, double y) const {
+  int col = static_cast<int>((x - extent_.min_x()) / cell_w_);
+  int row = static_cast<int>((y - extent_.min_y()) / cell_h_);
+  col = std::clamp(col, 0, cols_ - 1);
+  row = std::clamp(row, 0, rows_ - 1);
+  return {col, row};
+}
+
+void UniformGrid::Insert(const geom::Envelope& envelope, int64_t id) {
+  if (envelope.IsEmpty()) return;
+  auto [c0, r0] = CellOf(envelope.min_x(), envelope.min_y());
+  auto [c1, r1] = CellOf(envelope.max_x(), envelope.max_y());
+  for (int r = r0; r <= r1; ++r) {
+    for (int c = c0; c <= c1; ++c) {
+      cells_[CellId(c, r)].emplace_back(envelope, id);
+    }
+  }
+  ++size_;
+}
+
+void UniformGrid::Query(const geom::Envelope& query,
+                        const std::function<void(int64_t)>& fn) const {
+  if (query.IsEmpty() || !query.Intersects(extent_)) {
+    // The grid only covers its extent; entries cannot live elsewhere
+    // because Insert clamps to boundary cells.
+  }
+  auto [c0, r0] = CellOf(query.min_x(), query.min_y());
+  auto [c1, r1] = CellOf(query.max_x(), query.max_y());
+  std::unordered_set<int64_t> seen;
+  for (int r = r0; r <= r1; ++r) {
+    for (int c = c0; c <= c1; ++c) {
+      for (const auto& [env, id] : cells_[CellId(c, r)]) {
+        if (env.Intersects(query) && seen.insert(id).second) {
+          fn(id);
+        }
+      }
+    }
+  }
+}
+
+void UniformGrid::Query(const geom::Envelope& query,
+                        std::vector<int64_t>* out) const {
+  Query(query, [out](int64_t id) { out->push_back(id); });
+}
+
+}  // namespace cloudjoin::index

@@ -1,0 +1,61 @@
+#ifndef CLOUDJOIN_INDEX_GRID_INDEX_H_
+#define CLOUDJOIN_INDEX_GRID_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/envelope.h"
+
+namespace cloudjoin::index {
+
+/// Uniform grid over a fixed extent; each cell holds the ids of entries
+/// whose envelope intersects it.
+///
+/// Simpler alternative filter structure to the R-tree family; also the
+/// building block of grid-based spatial partitioning (HadoopGIS uses this
+/// style of partitioning in the paper's related work).
+class UniformGrid {
+ public:
+  /// Builds a `cols` x `rows` grid covering `extent`.
+  UniformGrid(const geom::Envelope& extent, int cols, int rows);
+
+  /// Registers an (envelope, id) entry in all cells it touches.
+  void Insert(const geom::Envelope& envelope, int64_t id);
+
+  /// Invokes `fn(id)` for candidate entries whose envelope intersects
+  /// `query`. An id registered in multiple cells is reported once.
+  void Query(const geom::Envelope& query,
+             const std::function<void(int64_t)>& fn) const;
+
+  /// Appends matching candidate ids to `out` (deduplicated).
+  void Query(const geom::Envelope& query, std::vector<int64_t>* out) const;
+
+  /// Cell index (col, row) containing point (x, y), clamped to the grid.
+  std::pair<int, int> CellOf(double x, double y) const;
+
+  /// Flat cell id for (col, row).
+  int CellId(int col, int row) const { return row * cols_ + col; }
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+  int64_t size() const { return size_; }
+
+  /// Number of entries registered in cell `cell_id`.
+  int64_t CellCount(int cell_id) const {
+    return static_cast<int64_t>(cells_[cell_id].size());
+  }
+
+ private:
+  geom::Envelope extent_;
+  int cols_;
+  int rows_;
+  double cell_w_;
+  double cell_h_;
+  int64_t size_ = 0;
+  std::vector<std::vector<std::pair<geom::Envelope, int64_t>>> cells_;
+};
+
+}  // namespace cloudjoin::index
+
+#endif  // CLOUDJOIN_INDEX_GRID_INDEX_H_

@@ -1,0 +1,125 @@
+#include "index/quadtree.h"
+
+#include "common/logging.h"
+
+namespace cloudjoin::index {
+
+struct Quadtree::Node {
+  geom::Envelope bounds;
+  int depth = 0;
+  std::vector<std::pair<geom::Envelope, int64_t>> records;
+  std::unique_ptr<Node> children[4];
+  bool split = false;
+
+  geom::Envelope QuadrantBounds(int q) const {
+    double mx = (bounds.min_x() + bounds.max_x()) * 0.5;
+    double my = (bounds.min_y() + bounds.max_y()) * 0.5;
+    switch (q) {
+      case 0:
+        return geom::Envelope(bounds.min_x(), bounds.min_y(), mx, my);
+      case 1:
+        return geom::Envelope(mx, bounds.min_y(), bounds.max_x(), my);
+      case 2:
+        return geom::Envelope(bounds.min_x(), my, mx, bounds.max_y());
+      default:
+        return geom::Envelope(mx, my, bounds.max_x(), bounds.max_y());
+    }
+  }
+
+  /// Index of the quadrant fully containing `e`, or -1 if it straddles.
+  int QuadrantFor(const geom::Envelope& e) const {
+    for (int q = 0; q < 4; ++q) {
+      if (QuadrantBounds(q).Contains(e)) return q;
+    }
+    return -1;
+  }
+};
+
+Quadtree::Quadtree(const geom::Envelope& extent, int max_depth,
+                   int node_capacity)
+    : max_depth_(max_depth), node_capacity_(node_capacity) {
+  CLOUDJOIN_CHECK(!extent.IsEmpty());
+  CLOUDJOIN_CHECK(max_depth >= 1);
+  CLOUDJOIN_CHECK(node_capacity >= 1);
+  root_ = std::make_unique<Node>();
+  root_->bounds = extent;
+}
+
+Quadtree::~Quadtree() = default;
+
+void Quadtree::Insert(const geom::Envelope& envelope, int64_t id) {
+  Node* node = root_.get();
+  while (true) {
+    if (node->split) {
+      int q = node->QuadrantFor(envelope);
+      if (q >= 0) {
+        if (node->children[q] == nullptr) {
+          node->children[q] = std::make_unique<Node>();
+          node->children[q]->bounds = node->QuadrantBounds(q);
+          node->children[q]->depth = node->depth + 1;
+        }
+        node = node->children[q].get();
+        continue;
+      }
+      node->records.emplace_back(envelope, id);
+      break;
+    }
+    node->records.emplace_back(envelope, id);
+    if (static_cast<int>(node->records.size()) > node_capacity_ &&
+        node->depth < max_depth_) {
+      // Split: push contained records down one level.
+      node->split = true;
+      std::vector<std::pair<geom::Envelope, int64_t>> keep;
+      for (auto& [env, rid] : node->records) {
+        int q = node->QuadrantFor(env);
+        if (q < 0) {
+          keep.emplace_back(env, rid);
+          continue;
+        }
+        if (node->children[q] == nullptr) {
+          node->children[q] = std::make_unique<Node>();
+          node->children[q]->bounds = node->QuadrantBounds(q);
+          node->children[q]->depth = node->depth + 1;
+        }
+        node->children[q]->records.emplace_back(env, rid);
+      }
+      node->records = std::move(keep);
+    }
+    break;
+  }
+  ++size_;
+}
+
+void Quadtree::Query(const geom::Envelope& query,
+                     const std::function<void(int64_t)>& fn) const {
+  // The root is never pruned: records whose envelope falls outside the
+  // declared extent are parked there and must stay reachable.
+  std::function<void(const Node*, bool)> visit = [&](const Node* node,
+                                                     bool is_root) {
+    if (!is_root && !node->bounds.Intersects(query)) return;
+    for (const auto& [env, id] : node->records) {
+      if (env.Intersects(query)) fn(id);
+    }
+    for (int q = 0; q < 4; ++q) {
+      if (node->children[q] != nullptr) visit(node->children[q].get(), false);
+    }
+  };
+  visit(root_.get(), true);
+}
+
+void Quadtree::Query(const geom::Envelope& query,
+                     std::vector<int64_t>* out) const {
+  Query(query, [out](int64_t id) { out->push_back(id); });
+}
+
+int64_t Quadtree::NumNodes() const {
+  std::function<int64_t(const Node*)> count = [&](const Node* node) {
+    if (node == nullptr) return int64_t{0};
+    int64_t n = 1;
+    for (int q = 0; q < 4; ++q) n += count(node->children[q].get());
+    return n;
+  };
+  return count(root_.get());
+}
+
+}  // namespace cloudjoin::index

@@ -1,0 +1,58 @@
+#ifndef CLOUDJOIN_INDEX_QUADTREE_H_
+#define CLOUDJOIN_INDEX_QUADTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "geom/envelope.h"
+
+namespace cloudjoin::index {
+
+/// Region quadtree over (envelope, id) records.
+///
+/// Each record lives at the deepest node whose quadrant fully contains its
+/// envelope (records straddling a split line stay at the parent). Queries
+/// descend only intersecting quadrants. Companion structure to the R-tree
+/// family — quadtrees are the filter structure of the authors' GPU line of
+/// work, provided here for comparison (`micro_index`).
+class Quadtree {
+ public:
+  /// `extent` must cover every inserted envelope; `max_depth` bounds
+  /// subdivision, `node_capacity` is the split threshold.
+  explicit Quadtree(const geom::Envelope& extent, int max_depth = 12,
+                    int node_capacity = 8);
+  ~Quadtree();
+
+  Quadtree(const Quadtree&) = delete;
+  Quadtree& operator=(const Quadtree&) = delete;
+
+  /// Inserts a record. Envelopes outside the extent are clipped to the
+  /// root (they stay queryable).
+  void Insert(const geom::Envelope& envelope, int64_t id);
+
+  /// Invokes `fn(id)` for every record whose envelope intersects `query`.
+  void Query(const geom::Envelope& query,
+             const std::function<void(int64_t)>& fn) const;
+
+  /// Appends matching ids to `out`.
+  void Query(const geom::Envelope& query, std::vector<int64_t>* out) const;
+
+  int64_t size() const { return size_; }
+
+  /// Number of allocated tree nodes (diagnostics).
+  int64_t NumNodes() const;
+
+ private:
+  struct Node;
+
+  std::unique_ptr<Node> root_;
+  int max_depth_;
+  int node_capacity_;
+  int64_t size_ = 0;
+};
+
+}  // namespace cloudjoin::index
+
+#endif  // CLOUDJOIN_INDEX_QUADTREE_H_

@@ -1,0 +1,271 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace cloudjoin::index {
+
+struct RTree::Node {
+  geom::Envelope envelope;
+  Node* parent = nullptr;
+  bool is_leaf = true;
+  // Leaf payload.
+  std::vector<geom::Envelope> record_envelopes;
+  std::vector<int64_t> record_ids;
+  // Internal payload.
+  std::vector<std::unique_ptr<Node>> children;
+
+  int NumEntries() const {
+    return is_leaf ? static_cast<int>(record_ids.size())
+                   : static_cast<int>(children.size());
+  }
+
+  void Recompute() {
+    envelope = geom::Envelope();
+    if (is_leaf) {
+      for (const auto& e : record_envelopes) envelope.ExpandToInclude(e);
+    } else {
+      for (const auto& c : children) envelope.ExpandToInclude(c->envelope);
+    }
+  }
+};
+
+namespace {
+
+double EnlargementNeeded(const geom::Envelope& node_env,
+                         const geom::Envelope& add) {
+  geom::Envelope merged = node_env;
+  merged.ExpandToInclude(add);
+  return merged.Area() - node_env.Area();
+}
+
+}  // namespace
+
+RTree::RTree(int max_entries)
+    : max_entries_(max_entries), min_entries_(std::max(2, max_entries / 2)) {
+  CLOUDJOIN_CHECK(max_entries_ >= 4);
+  root_ = std::make_unique<Node>();
+}
+
+RTree::~RTree() = default;
+
+int RTree::height() const {
+  int h = 1;
+  const Node* n = root_.get();
+  while (!n->is_leaf) {
+    n = n->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+RTree::Node* RTree::ChooseLeaf(Node* node,
+                               const geom::Envelope& envelope) const {
+  while (!node->is_leaf) {
+    Node* best = nullptr;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (const auto& child : node->children) {
+      double enlargement = EnlargementNeeded(child->envelope, envelope);
+      double area = child->envelope.Area();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best_enlargement = enlargement;
+        best_area = area;
+        best = child.get();
+      }
+    }
+    node = best;
+  }
+  return node;
+}
+
+void RTree::Insert(const geom::Envelope& envelope, int64_t id) {
+  Node* leaf = ChooseLeaf(root_.get(), envelope);
+  leaf->record_envelopes.push_back(envelope);
+  leaf->record_ids.push_back(id);
+  leaf->envelope.ExpandToInclude(envelope);
+  ++size_;
+  if (leaf->NumEntries() > max_entries_) {
+    SplitNode(leaf);
+  } else {
+    AdjustUpward(leaf->parent);
+  }
+}
+
+void RTree::AdjustUpward(Node* node) {
+  while (node != nullptr) {
+    node->Recompute();
+    node = node->parent;
+  }
+}
+
+void RTree::SplitNode(Node* node) {
+  // Gather entry envelopes (records or children).
+  const int n = node->NumEntries();
+  std::vector<geom::Envelope> envs(n);
+  for (int i = 0; i < n; ++i) {
+    envs[i] = node->is_leaf ? node->record_envelopes[i]
+                            : node->children[i]->envelope;
+  }
+
+  // Quadratic pick-seeds: the pair wasting the most area together.
+  int seed_a = 0, seed_b = 1;
+  double worst = -1.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      geom::Envelope merged = envs[i];
+      merged.ExpandToInclude(envs[j]);
+      double waste = merged.Area() - envs[i].Area() - envs[j].Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  // Distribute entries between two groups.
+  std::vector<int> group(n, -1);
+  group[seed_a] = 0;
+  group[seed_b] = 1;
+  geom::Envelope env0 = envs[seed_a];
+  geom::Envelope env1 = envs[seed_b];
+  int count0 = 1, count1 = 1;
+  int remaining = n - 2;
+  while (remaining > 0) {
+    // Force-assign to satisfy minimum fill.
+    if (count0 + remaining == min_entries_) {
+      for (int i = 0; i < n; ++i) {
+        if (group[i] == -1) {
+          group[i] = 0;
+          env0.ExpandToInclude(envs[i]);
+          ++count0;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    if (count1 + remaining == min_entries_) {
+      for (int i = 0; i < n; ++i) {
+        if (group[i] == -1) {
+          group[i] = 1;
+          env1.ExpandToInclude(envs[i]);
+          ++count1;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    // Pick-next: the entry with the greatest preference difference.
+    int pick = -1;
+    double best_diff = -1.0;
+    for (int i = 0; i < n; ++i) {
+      if (group[i] != -1) continue;
+      double d0 = EnlargementNeeded(env0, envs[i]);
+      double d1 = EnlargementNeeded(env1, envs[i]);
+      double diff = std::abs(d0 - d1);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+      }
+    }
+    double d0 = EnlargementNeeded(env0, envs[pick]);
+    double d1 = EnlargementNeeded(env1, envs[pick]);
+    int target = d0 < d1 ? 0 : (d1 < d0 ? 1 : (count0 <= count1 ? 0 : 1));
+    group[pick] = target;
+    if (target == 0) {
+      env0.ExpandToInclude(envs[pick]);
+      ++count0;
+    } else {
+      env1.ExpandToInclude(envs[pick]);
+      ++count1;
+    }
+    --remaining;
+  }
+
+  // Materialize sibling with group-1 entries; keep group-0 in `node`.
+  auto sibling = std::make_unique<Node>();
+  sibling->is_leaf = node->is_leaf;
+  if (node->is_leaf) {
+    std::vector<geom::Envelope> keep_envs;
+    std::vector<int64_t> keep_ids;
+    for (int i = 0; i < n; ++i) {
+      if (group[i] == 0) {
+        keep_envs.push_back(node->record_envelopes[i]);
+        keep_ids.push_back(node->record_ids[i]);
+      } else {
+        sibling->record_envelopes.push_back(node->record_envelopes[i]);
+        sibling->record_ids.push_back(node->record_ids[i]);
+      }
+    }
+    node->record_envelopes = std::move(keep_envs);
+    node->record_ids = std::move(keep_ids);
+  } else {
+    std::vector<std::unique_ptr<Node>> keep;
+    for (int i = 0; i < n; ++i) {
+      if (group[i] == 0) {
+        keep.push_back(std::move(node->children[i]));
+      } else {
+        node->children[i]->parent = sibling.get();
+        sibling->children.push_back(std::move(node->children[i]));
+      }
+    }
+    node->children = std::move(keep);
+  }
+  node->Recompute();
+  sibling->Recompute();
+
+  if (node->parent == nullptr) {
+    // Grow a new root.
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    auto old_root = std::move(root_);
+    old_root->parent = new_root.get();
+    sibling->parent = new_root.get();
+    new_root->children.push_back(std::move(old_root));
+    new_root->children.push_back(std::move(sibling));
+    new_root->Recompute();
+    root_ = std::move(new_root);
+    return;
+  }
+
+  Node* parent = node->parent;
+  sibling->parent = parent;
+  parent->children.push_back(std::move(sibling));
+  if (parent->NumEntries() > max_entries_) {
+    SplitNode(parent);
+  } else {
+    AdjustUpward(parent);
+  }
+}
+
+void RTree::QueryNode(const Node* node, const geom::Envelope& query,
+                      const std::function<void(int64_t)>& fn) {
+  if (!node->envelope.Intersects(query)) return;
+  if (node->is_leaf) {
+    for (size_t i = 0; i < node->record_ids.size(); ++i) {
+      if (node->record_envelopes[i].Intersects(query)) {
+        fn(node->record_ids[i]);
+      }
+    }
+  } else {
+    for (const auto& child : node->children) {
+      QueryNode(child.get(), query, fn);
+    }
+  }
+}
+
+void RTree::Query(const geom::Envelope& query,
+                  const std::function<void(int64_t)>& fn) const {
+  QueryNode(root_.get(), query, fn);
+}
+
+void RTree::Query(const geom::Envelope& query,
+                  std::vector<int64_t>* out) const {
+  Query(query, [out](int64_t id) { out->push_back(id); });
+}
+
+}  // namespace cloudjoin::index

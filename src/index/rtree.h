@@ -1,0 +1,58 @@
+#ifndef CLOUDJOIN_INDEX_RTREE_H_
+#define CLOUDJOIN_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "geom/envelope.h"
+
+namespace cloudjoin::index {
+
+/// Dynamic R-tree with Guttman quadratic node splitting.
+///
+/// The systems in the paper bulk-load (`StrTree`); this dynamic variant
+/// exists for incremental-maintenance scenarios (e.g. streaming ingestion,
+/// one of the paper's future-work directions) and as an independent oracle
+/// in the index test suite.
+class RTree {
+ public:
+  /// `max_entries` per node (min is max/2, Guttman's recommendation).
+  explicit RTree(int max_entries = 8);
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  /// Inserts an (envelope, id) record.
+  void Insert(const geom::Envelope& envelope, int64_t id);
+
+  /// Invokes `fn(id)` for every record whose envelope intersects `query`.
+  void Query(const geom::Envelope& query,
+             const std::function<void(int64_t)>& fn) const;
+
+  /// Appends matching ids to `out`.
+  void Query(const geom::Envelope& query, std::vector<int64_t>* out) const;
+
+  int64_t size() const { return size_; }
+  int height() const;
+
+ private:
+  struct Node;
+
+  Node* ChooseLeaf(Node* node, const geom::Envelope& envelope) const;
+  void SplitNode(Node* node);
+  void AdjustUpward(Node* node);
+  static void QueryNode(const Node* node, const geom::Envelope& query,
+                        const std::function<void(int64_t)>& fn);
+
+  std::unique_ptr<Node> root_;
+  int max_entries_;
+  int min_entries_;
+  int64_t size_ = 0;
+};
+
+}  // namespace cloudjoin::index
+
+#endif  // CLOUDJOIN_INDEX_RTREE_H_

@@ -1,0 +1,96 @@
+#include "index/spatial_partitioner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cloudjoin::index {
+
+namespace {
+
+struct WorkTile {
+  geom::Envelope box;
+  std::vector<geom::Point> points;
+};
+
+}  // namespace
+
+SpatialPartitioner::SpatialPartitioner(const geom::Envelope& extent,
+                                       std::vector<geom::Point> sample,
+                                       int target_tiles)
+    : extent_(extent) {
+  CLOUDJOIN_CHECK(target_tiles >= 1);
+  CLOUDJOIN_CHECK(!extent.IsEmpty());
+
+  std::vector<WorkTile> work;
+  work.push_back(WorkTile{extent, std::move(sample)});
+  while (static_cast<int>(work.size()) < target_tiles) {
+    // Split the tile with the most sample points.
+    size_t victim = 0;
+    for (size_t i = 1; i < work.size(); ++i) {
+      if (work[i].points.size() > work[victim].points.size()) victim = i;
+    }
+    WorkTile tile = std::move(work[victim]);
+    work.erase(work.begin() + static_cast<int64_t>(victim));
+
+    const bool split_x = tile.box.Width() >= tile.box.Height();
+    double cut;
+    if (tile.points.size() >= 2) {
+      size_t mid = tile.points.size() / 2;
+      std::nth_element(tile.points.begin(), tile.points.begin() + mid,
+                       tile.points.end(),
+                       [split_x](const geom::Point& a, const geom::Point& b) {
+                         return split_x ? a.x < b.x : a.y < b.y;
+                       });
+      cut = split_x ? tile.points[mid].x : tile.points[mid].y;
+      // Degenerate medians (all samples at one coordinate) fall back to the
+      // spatial midpoint so the split always makes progress.
+      double lo = split_x ? tile.box.min_x() : tile.box.min_y();
+      double hi = split_x ? tile.box.max_x() : tile.box.max_y();
+      if (cut <= lo || cut >= hi) cut = (lo + hi) * 0.5;
+    } else {
+      cut = split_x ? (tile.box.min_x() + tile.box.max_x()) * 0.5
+                    : (tile.box.min_y() + tile.box.max_y()) * 0.5;
+    }
+
+    WorkTile left, right;
+    if (split_x) {
+      left.box = geom::Envelope(tile.box.min_x(), tile.box.min_y(), cut,
+                                tile.box.max_y());
+      right.box = geom::Envelope(cut, tile.box.min_y(), tile.box.max_x(),
+                                 tile.box.max_y());
+    } else {
+      left.box = geom::Envelope(tile.box.min_x(), tile.box.min_y(),
+                                tile.box.max_x(), cut);
+      right.box = geom::Envelope(tile.box.min_x(), cut, tile.box.max_x(),
+                                 tile.box.max_y());
+    }
+    for (const geom::Point& p : tile.points) {
+      bool go_left = split_x ? p.x < cut : p.y < cut;
+      (go_left ? left : right).points.push_back(p);
+    }
+    work.push_back(std::move(left));
+    work.push_back(std::move(right));
+  }
+
+  tiles_.reserve(work.size());
+  for (const WorkTile& t : work) tiles_.push_back(t.box);
+}
+
+int SpatialPartitioner::TileOf(const geom::Point& p) const {
+  for (size_t i = 0; i < tiles_.size(); ++i) {
+    if (tiles_[i].Contains(p)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<int> SpatialPartitioner::TilesFor(
+    const geom::Envelope& envelope) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < tiles_.size(); ++i) {
+    if (tiles_[i].Intersects(envelope)) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace cloudjoin::index

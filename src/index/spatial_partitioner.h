@@ -1,0 +1,46 @@
+#ifndef CLOUDJOIN_INDEX_SPATIAL_PARTITIONER_H_
+#define CLOUDJOIN_INDEX_SPATIAL_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/envelope.h"
+#include "geom/point.h"
+
+namespace cloudjoin::index {
+
+/// Computes balanced spatial tiles from a sample of item centers.
+///
+/// Used by the partitioned spatial join (the SpatialHadoop-style
+/// alternative to broadcast joins that the paper discusses in related work
+/// and we provide as the partitioned-join extension): both join sides are
+/// bucketed by tile, and only same-tile buckets are joined.
+///
+/// The algorithm is binary space partitioning on the sample: recursively
+/// split the tile with the most samples at its median along its longer
+/// axis, until `target_tiles` tiles exist.
+class SpatialPartitioner {
+ public:
+  /// Builds tiles covering `extent` from `sample` centers.
+  SpatialPartitioner(const geom::Envelope& extent,
+                     std::vector<geom::Point> sample, int target_tiles);
+
+  /// The tile boxes. Tiles exactly cover the extent without overlap.
+  const std::vector<geom::Envelope>& tiles() const { return tiles_; }
+
+  /// Index of the tile containing `p` (ties broken toward lower index);
+  /// -1 if `p` is outside the extent.
+  int TileOf(const geom::Point& p) const;
+
+  /// All tiles intersecting `envelope` (an item spanning several tiles is
+  /// replicated into each; the join dedups pairs).
+  std::vector<int> TilesFor(const geom::Envelope& envelope) const;
+
+ private:
+  geom::Envelope extent_;
+  std::vector<geom::Envelope> tiles_;
+};
+
+}  // namespace cloudjoin::index
+
+#endif  // CLOUDJOIN_INDEX_SPATIAL_PARTITIONER_H_

@@ -1,0 +1,92 @@
+#ifndef CLOUDJOIN_INDEX_STR_TREE_H_
+#define CLOUDJOIN_INDEX_STR_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/envelope.h"
+#include "geom/point.h"
+
+namespace cloudjoin::index {
+
+/// Sort-Tile-Recursive packed R-tree over (envelope, item-id) pairs.
+///
+/// This is the index both systems in the paper build on the broadcast right
+/// side of a spatial join (JTS `STRtree` in SpatialSpark, the in-memory
+/// R-tree in ISP-MC). Bulk-loaded once, then queried read-only from many
+/// threads.
+///
+/// Node layout is a flat array built leaves-first; child links are index
+/// ranges, so queries touch contiguous memory.
+class StrTree {
+ public:
+  /// An indexed entry: the item's MBB plus a caller-supplied id (usually the
+  /// row index of the right-side table).
+  struct Entry {
+    geom::Envelope envelope;
+    int64_t id = 0;
+  };
+
+  /// Builds the tree over `entries` with the given node capacity (JTS
+  /// default is 10).
+  explicit StrTree(std::vector<Entry> entries, int node_capacity = 10);
+
+  StrTree(const StrTree&) = delete;
+  StrTree& operator=(const StrTree&) = delete;
+  StrTree(StrTree&&) = default;
+  StrTree& operator=(StrTree&&) = default;
+
+  /// Invokes `fn(id)` for every entry whose envelope intersects `query`.
+  void Query(const geom::Envelope& query,
+             const std::function<void(int64_t)>& fn) const;
+
+  /// Appends ids of every entry whose envelope intersects `query`.
+  void Query(const geom::Envelope& query, std::vector<int64_t>* out) const;
+
+  /// Appends ids of every entry whose envelope is within `distance` of `p`
+  /// (the NearestD filter step).
+  void QueryWithinDistance(const geom::Point& p, double distance,
+                           std::vector<int64_t>* out) const;
+
+  /// Returns the id of the entry whose envelope is nearest to `p` (by MBB
+  /// distance, branch-and-bound), or -1 if the tree is empty.
+  int64_t NearestEnvelope(const geom::Point& p) const;
+
+  int64_t num_entries() const { return num_entries_; }
+  int height() const { return height_; }
+
+  /// Rough memory footprint in bytes (used to model broadcast cost).
+  int64_t MemoryBytes() const;
+
+  /// Envelope of everything in the tree.
+  const geom::Envelope& bounds() const { return bounds_; }
+
+ private:
+  struct Node {
+    geom::Envelope envelope;
+    // For internal nodes: [first_child, first_child + num_children) in
+    // nodes_. For leaves: [first_child, first_child + num_children) in
+    // entries_.
+    int32_t first_child = 0;
+    int32_t num_children = 0;
+    bool is_leaf = true;
+  };
+
+  /// Packs `level` (indices into nodes_ or entries_) into parent nodes;
+  /// returns the indices of the new level's nodes.
+  std::vector<int32_t> BuildLevel(const std::vector<int32_t>& level,
+                                  bool leaves);
+
+  std::vector<Entry> entries_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  int node_capacity_;
+  int64_t num_entries_ = 0;
+  int height_ = 0;
+  geom::Envelope bounds_;
+};
+
+}  // namespace cloudjoin::index
+
+#endif  // CLOUDJOIN_INDEX_STR_TREE_H_

@@ -1,0 +1,87 @@
+#include "join/broadcast_spatial_join.h"
+
+#include <algorithm>
+
+namespace cloudjoin::join {
+
+BroadcastIndex::BroadcastIndex(std::vector<IdGeometry> records, double radius)
+    : records_(std::move(records)) {
+  std::vector<index::StrTree::Entry> entries;
+  entries.reserve(records_.size());
+  for (size_t i = 0; i < records_.size(); ++i) {
+    geom::Envelope env = records_[i].geometry.envelope();
+    env.ExpandBy(radius);
+    entries.push_back(
+        index::StrTree::Entry{env, static_cast<int64_t>(i)});
+  }
+  tree_ = std::make_unique<index::StrTree>(std::move(entries));
+}
+
+bool RefinePair(const geom::Geometry& left, const geom::Geometry& right,
+                const SpatialPredicate& predicate) {
+  switch (predicate.op) {
+    case SpatialOperator::kWithin:
+      return geom::Within(left, right);
+    case SpatialOperator::kNearestD:
+      return geom::WithinDistance(left, right, predicate.distance);
+    case SpatialOperator::kIntersects:
+      return geom::Intersects(left, right);
+  }
+  return false;
+}
+
+void BroadcastIndex::Probe(const IdGeometry& probe,
+                           const SpatialPredicate& predicate,
+                           std::vector<IdPair>* out,
+                           Counters* counters) const {
+  int64_t candidates = 0;
+  int64_t matches = 0;
+  tree_->Query(probe.geometry.envelope(), [&](int64_t slot) {
+    ++candidates;
+    const IdGeometry& candidate = records_[static_cast<size_t>(slot)];
+    if (RefinePair(probe.geometry, candidate.geometry, predicate)) {
+      out->emplace_back(probe.id, candidate.id);
+      ++matches;
+    }
+  });
+  if (counters != nullptr) {
+    counters->Add("join.candidates", candidates);
+    counters->Add("join.matches", matches);
+  }
+}
+
+int64_t BroadcastIndex::MemoryBytes() const {
+  int64_t bytes = tree_->MemoryBytes();
+  for (const IdGeometry& r : records_) {
+    bytes += 16 + r.geometry.NumCoords() * static_cast<int64_t>(sizeof(geom::Point));
+  }
+  return bytes;
+}
+
+std::vector<IdPair> BroadcastSpatialJoin(const std::vector<IdGeometry>& left,
+                                         std::vector<IdGeometry> right,
+                                         const SpatialPredicate& predicate,
+                                         Counters* counters) {
+  BroadcastIndex index(std::move(right), predicate.FilterRadius());
+  std::vector<IdPair> out;
+  for (const IdGeometry& probe : left) {
+    index.Probe(probe, predicate, &out, counters);
+  }
+  return out;
+}
+
+std::vector<IdPair> NestedLoopSpatialJoin(const std::vector<IdGeometry>& left,
+                                          const std::vector<IdGeometry>& right,
+                                          const SpatialPredicate& predicate) {
+  std::vector<IdPair> out;
+  for (const IdGeometry& l : left) {
+    for (const IdGeometry& r : right) {
+      if (RefinePair(l.geometry, r.geometry, predicate)) {
+        out.emplace_back(l.id, r.id);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cloudjoin::join

@@ -1,0 +1,72 @@
+#ifndef CLOUDJOIN_JOIN_BROADCAST_SPATIAL_JOIN_H_
+#define CLOUDJOIN_JOIN_BROADCAST_SPATIAL_JOIN_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/counters.h"
+#include "geom/geometry.h"
+#include "geom/predicates.h"
+#include "index/str_tree.h"
+#include "join/spatial_predicate.h"
+
+namespace cloudjoin::join {
+
+/// An (id, geometry) record — the element type both prototype systems
+/// reduce their inputs to before joining.
+struct IdGeometry {
+  int64_t id = 0;
+  geom::Geometry geometry{geom::GeometryType::kPoint};
+};
+
+/// An (left id, right id) join match.
+using IdPair = std::pair<int64_t, int64_t>;
+
+/// The broadcast side of the join: the right-side records plus the STR-tree
+/// over their (radius-expanded) envelopes. Build once, probe from anywhere.
+class BroadcastIndex {
+ public:
+  /// Builds the index; `radius` expands every envelope (NearestD filter).
+  BroadcastIndex(std::vector<IdGeometry> records, double radius);
+
+  /// Refines `probe` against every filtered candidate, appending matches
+  /// (probe_id, right_id) to `out`. Counters (optional): filter candidates
+  /// and refinement tests.
+  void Probe(const IdGeometry& probe, const SpatialPredicate& predicate,
+             std::vector<IdPair>* out, Counters* counters = nullptr) const;
+
+  int64_t size() const { return static_cast<int64_t>(records_.size()); }
+  const index::StrTree& tree() const { return *tree_; }
+
+  /// Approximate broadcast payload size (records + tree).
+  int64_t MemoryBytes() const;
+
+ private:
+  std::vector<IdGeometry> records_;
+  std::unique_ptr<index::StrTree> tree_;
+};
+
+/// Evaluates `predicate` between two parsed geometries (the refinement
+/// step, shared by all fast-path joins).
+bool RefinePair(const geom::Geometry& left, const geom::Geometry& right,
+                const SpatialPredicate& predicate);
+
+/// The paper's core algorithm: build an STR-tree over `right`, stream
+/// `left` through it, refine candidates. Returns matched (left_id,
+/// right_id) pairs in left-major order.
+std::vector<IdPair> BroadcastSpatialJoin(const std::vector<IdGeometry>& left,
+                                         std::vector<IdGeometry> right,
+                                         const SpatialPredicate& predicate,
+                                         Counters* counters = nullptr);
+
+/// O(|left| * |right|) reference join (the naive cross-join baseline of the
+/// paper's §II; also the test oracle).
+std::vector<IdPair> NestedLoopSpatialJoin(const std::vector<IdGeometry>& left,
+                                          const std::vector<IdGeometry>& right,
+                                          const SpatialPredicate& predicate);
+
+}  // namespace cloudjoin::join
+
+#endif  // CLOUDJOIN_JOIN_BROADCAST_SPATIAL_JOIN_H_

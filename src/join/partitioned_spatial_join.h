@@ -1,0 +1,31 @@
+#ifndef CLOUDJOIN_JOIN_PARTITIONED_SPATIAL_JOIN_H_
+#define CLOUDJOIN_JOIN_PARTITIONED_SPATIAL_JOIN_H_
+
+#include <vector>
+
+#include "common/counters.h"
+#include "join/broadcast_spatial_join.h"
+
+namespace cloudjoin::join {
+
+/// SpatialHadoop-style partitioned spatial join — the alternative to
+/// broadcasting that both prototype papers point to when the right side
+/// outgrows worker memory (our extension beyond the paper's broadcast-only
+/// prototypes).
+///
+/// Both inputs are bucketed by spatial tiles computed from a sample of the
+/// right side; items spanning several tiles are replicated; each tile is
+/// joined independently with a local STR-tree; duplicate pairs introduced
+/// by replication are removed. Results equal BroadcastSpatialJoin exactly.
+///
+/// `num_tiles` controls parallel granularity (≈ number of reduce tasks in
+/// the HadoopGIS analogy).
+std::vector<IdPair> PartitionedSpatialJoin(const std::vector<IdGeometry>& left,
+                                           const std::vector<IdGeometry>& right,
+                                           const SpatialPredicate& predicate,
+                                           int num_tiles,
+                                           Counters* counters = nullptr);
+
+}  // namespace cloudjoin::join
+
+#endif  // CLOUDJOIN_JOIN_PARTITIONED_SPATIAL_JOIN_H_

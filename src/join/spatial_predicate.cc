@@ -1,0 +1,28 @@
+#include "join/spatial_predicate.h"
+
+#include <cstdio>
+
+namespace cloudjoin::join {
+
+const char* SpatialOperatorToString(SpatialOperator op) {
+  switch (op) {
+    case SpatialOperator::kWithin:
+      return "Within";
+    case SpatialOperator::kNearestD:
+      return "NearestD";
+    case SpatialOperator::kIntersects:
+      return "Intersects";
+  }
+  return "?";
+}
+
+std::string SpatialPredicate::ToString() const {
+  if (op == SpatialOperator::kNearestD) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "NearestD(%.6g)", distance);
+    return buf;
+  }
+  return SpatialOperatorToString(op);
+}
+
+}  // namespace cloudjoin::join

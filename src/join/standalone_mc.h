@@ -1,0 +1,51 @@
+#ifndef CLOUDJOIN_JOIN_STANDALONE_MC_H_
+#define CLOUDJOIN_JOIN_STANDALONE_MC_H_
+
+#include <vector>
+
+#include "common/counters.h"
+#include "common/result.h"
+#include "dfs/sim_file_system.h"
+#include "join/broadcast_spatial_join.h"
+#include "join/spatial_predicate.h"
+#include "join/table_input.h"
+#include "sim/cluster.h"
+#include "sim/run_report.h"
+
+namespace cloudjoin::join {
+
+/// One standalone run: matches plus per-block task durations.
+struct StandaloneRun {
+  std::vector<IdPair> pairs;
+  /// Per left-block measured durations (same granularity as ISP-MC scan
+  /// ranges so the two are comparable under the same schedule).
+  std::vector<double> block_seconds;
+  double build_seconds = 0.0;
+  Counters counters;
+};
+
+/// The paper's "standalone version of ISP-MC": the identical join logic —
+/// GEOS-role geometry, per-pair WKT re-parsing in refinement, R-tree
+/// filtering — with every Impala layer (SQL frontend, plan, row batches,
+/// expressions, coordinator) stripped away. The measured difference
+/// against `IspMcSystem` is the engine's infrastructure overhead, which
+/// the paper reports as 7-14 % (Table 1).
+class StandaloneMc {
+ public:
+  explicit StandaloneMc(dfs::SimFileSystem* fs);
+
+  Result<StandaloneRun> Join(const TableInput& left, const TableInput& right,
+                             const SpatialPredicate& predicate);
+
+  /// Replays a run on `cluster` (static scheduling, no engine overheads).
+  static sim::RunReport Simulate(const StandaloneRun& run,
+                                 const sim::ClusterSpec& cluster,
+                                 const std::string& experiment);
+
+ private:
+  dfs::SimFileSystem* fs_;
+};
+
+}  // namespace cloudjoin::join
+
+#endif  // CLOUDJOIN_JOIN_STANDALONE_MC_H_

@@ -1,0 +1,56 @@
+#ifndef CLOUDJOIN_SIM_CLUSTER_H_
+#define CLOUDJOIN_SIM_CLUSTER_H_
+
+#include <string>
+
+namespace cloudjoin::sim {
+
+/// Hardware model of the execution environment.
+///
+/// Per-task compute is *measured* on the build machine (reference core =
+/// speed 1.0); the simulator replays those measurements on this spec. The
+/// two presets mirror the paper's §V.A setup:
+///  * the in-house single node — 16 cores, 128 GB, fast cores;
+///  * Amazon EC2 g2.2xlarge nodes — 8 vCPUs, 15 GB, slower virtualized
+///    cores (relative speed 0.33, derived in EXPERIMENTS.md from the
+///    paper's own cross-table ratios).
+struct ClusterSpec {
+  int num_nodes = 1;
+  int cores_per_node = 8;
+  /// Core throughput relative to the measurement machine's core.
+  double core_speed = 1.0;
+  /// Deterministic node-to-node speed variation (0 = homogeneous). Node i
+  /// of n runs at core_speed * (1 + spread * (i/(n-1) - 0.5)). Virtualized
+  /// EC2 instances are measurably heterogeneous — the effect behind the
+  /// paper's "some Impala instances take much longer to complete" remark —
+  /// and it hurts static scheduling far more than dynamic.
+  double node_speed_spread = 0.0;
+  /// Usable memory per node in bytes (join planning checks broadcast fit).
+  int64_t memory_per_node = 15LL * 1024 * 1024 * 1024;
+  /// Point-to-point network bandwidth in bytes/second (broadcast cost).
+  double network_bytes_per_sec = 120.0 * 1024 * 1024;
+  /// Disk/HDFS sequential scan bandwidth in bytes/second per node.
+  double scan_bytes_per_sec = 100.0 * 1024 * 1024;
+
+  int TotalCores() const { return num_nodes * cores_per_node; }
+
+  /// Effective core speed of node `node` (see node_speed_spread).
+  double NodeSpeed(int node) const {
+    if (num_nodes <= 1 || node_speed_spread == 0.0) return core_speed;
+    double position =
+        static_cast<double>(node) / static_cast<double>(num_nodes - 1);
+    return core_speed * (1.0 + node_speed_spread * (position - 0.5));
+  }
+
+  /// The paper's in-house machine: 16 cores, 128 GB.
+  static ClusterSpec InHouseSingleNode();
+
+  /// An EC2 cluster of `nodes` g2.2xlarge instances (8 vCPU, 15 GB).
+  static ClusterSpec Ec2(int nodes);
+
+  std::string ToString() const;
+};
+
+}  // namespace cloudjoin::sim
+
+#endif  // CLOUDJOIN_SIM_CLUSTER_H_

@@ -1,0 +1,28 @@
+#include "sim/cost_model.h"
+
+#include <cmath>
+
+namespace cloudjoin::sim {
+
+double CostModel::BroadcastSeconds(const ClusterSpec& cluster,
+                                   int64_t bytes) const {
+  if (cluster.num_nodes <= 1 || bytes <= 0) return 0.0;
+  // Pipelined binomial-tree broadcast: ceil(log2(n)) bandwidth-bound rounds.
+  double rounds = std::ceil(std::log2(static_cast<double>(cluster.num_nodes)));
+  return rounds * static_cast<double>(bytes) / cluster.network_bytes_per_sec;
+}
+
+double CostModel::SparkJobOverheadSeconds(const ClusterSpec& cluster,
+                                          int num_stages,
+                                          int num_partitions) const {
+  double per_stage = spark_stage_base_s +
+                     spark_partition_meta_s * num_partitions +
+                     spark_node_meta_s * cluster.num_nodes;
+  return spark_jar_ship_s + per_stage * num_stages;
+}
+
+double CostModel::ImpalaQueryOverheadSeconds(const ClusterSpec& cluster) const {
+  return impala_plan_s + impala_fragment_startup_s * cluster.num_nodes;
+}
+
+}  // namespace cloudjoin::sim

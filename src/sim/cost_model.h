@@ -1,0 +1,67 @@
+#ifndef CLOUDJOIN_SIM_COST_MODEL_H_
+#define CLOUDJOIN_SIM_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "sim/cluster.h"
+
+namespace cloudjoin::sim {
+
+/// Fixed-overhead models for the two engines, with constants calibrated
+/// once against the paper's own measurements (see EXPERIMENTS.md). These
+/// cover the costs that are *not* per-tuple compute and therefore cannot be
+/// measured from the scaled-down local run:
+///
+///  * Spark: per-run jar shipping, and per-stage driver work — the paper's
+///    §III observation that Spark "selects a new leader and reconstructs an
+///    actor system ... for every job stage", with cost growing in the
+///    number of partitions exchanged.
+///  * Impala: per-node fragment startup and coordinator planning, the
+///    7-14 % infrastructure overhead isolated by the standalone comparison
+///    in Table 1.
+///  * Both: broadcasting the right-side table + index to every node.
+struct CostModel {
+  // -- Spark ---------------------------------------------------------------
+  /// Per-run overhead: packing and shipping jars to workers (paper §VI).
+  double spark_jar_ship_s = 6.0;
+  /// Per-stage fixed cost: leader election + actor-system reconstruction.
+  double spark_stage_base_s = 0.8;
+  /// Per-partition-per-stage metadata exchange cost.
+  double spark_partition_meta_s = 0.008;
+  /// Per-node executor registration cost per stage.
+  double spark_node_meta_s = 0.08;
+  /// JVM execution tax on Spark compute: the real SpatialSpark executed
+  /// Scala/JTS on a JVM while this reproduction's RDD engine runs native
+  /// code. Calibrated from the paper's own Table 1 per-record rates
+  /// (SpatialSpark ~4 core-us/record vs ISP-MC ~55 on taxi-nycb, against
+  /// this codebase's measured native rates). Applied to Spark task and
+  /// driver-build durations at simulation time.
+  double spark_jvm_factor = 1.5;
+
+  // -- Impala --------------------------------------------------------------
+  /// Coordinator parse/plan/admit cost per query.
+  double impala_plan_s = 0.4;
+  /// Fragment startup cost per node per query.
+  double impala_fragment_startup_s = 0.6;
+  // NOTE: the Table 1 ISP-MC vs standalone infrastructure gap (7-14 % in
+  // the paper) is NOT modeled here — it emerges from real measurement,
+  // because ISP-MC executes through the row-batch/expression backend while
+  // the standalone implementation runs the bare join loops.
+
+  /// Seconds to broadcast `bytes` from one node to the other
+  /// `num_nodes - 1` nodes (tree-structured, bandwidth-bound; 0 on a
+  /// single node).
+  double BroadcastSeconds(const ClusterSpec& cluster, int64_t bytes) const;
+
+  /// Total Spark driver-side overhead for a job of `num_stages` stages over
+  /// `num_partitions` partitions on `cluster`.
+  double SparkJobOverheadSeconds(const ClusterSpec& cluster, int num_stages,
+                                 int num_partitions) const;
+
+  /// Impala coordinator + fragment startup overhead for one query.
+  double ImpalaQueryOverheadSeconds(const ClusterSpec& cluster) const;
+};
+
+}  // namespace cloudjoin::sim
+
+#endif  // CLOUDJOIN_SIM_COST_MODEL_H_

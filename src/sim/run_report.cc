@@ -1,0 +1,23 @@
+#include "sim/run_report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace cloudjoin::sim {
+
+std::string RunReport::ToString() const {
+  std::ostringstream os;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%s / %s: %.2fs (results=%lld)",
+                system.c_str(), experiment.c_str(), simulated_seconds,
+                static_cast<long long>(result_count));
+  os << buf;
+  for (const auto& [name, seconds] : breakdown) {
+    std::snprintf(buf, sizeof(buf), "\n    %-24s %10.3fs", name.c_str(),
+                  seconds);
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace cloudjoin::sim

@@ -1,0 +1,37 @@
+#ifndef CLOUDJOIN_SIM_RUN_REPORT_H_
+#define CLOUDJOIN_SIM_RUN_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/counters.h"
+
+namespace cloudjoin::sim {
+
+/// The full accounting of one simulated experiment run: the headline
+/// simulated wall-clock plus a named breakdown so readers can audit every
+/// second (compute vs broadcast vs engine overhead).
+struct RunReport {
+  std::string system;      // "SpatialSpark", "ISP-MC", "ISP-MC standalone"
+  std::string experiment;  // "taxi-nycb", ...
+  double simulated_seconds = 0.0;
+  /// Component -> seconds; components sum to simulated_seconds.
+  std::map<std::string, double> breakdown;
+  /// Join-result cardinality, for cross-system correctness checks.
+  int64_t result_count = 0;
+  /// Measured (not simulated) local wall-clock spent producing this run.
+  double local_seconds = 0.0;
+  Counters counters;
+
+  void AddComponent(const std::string& name, double seconds) {
+    breakdown[name] += seconds;
+    simulated_seconds += seconds;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace cloudjoin::sim
+
+#endif  // CLOUDJOIN_SIM_RUN_REPORT_H_

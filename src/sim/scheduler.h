@@ -1,0 +1,51 @@
+#ifndef CLOUDJOIN_SIM_SCHEDULER_H_
+#define CLOUDJOIN_SIM_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+
+namespace cloudjoin::sim {
+
+/// One unit of schedulable work: the *measured* single-threaded duration of
+/// a real task (partition scan+join in Spark, scan-range processing in
+/// Impala) on the reference core.
+struct SimTask {
+  double duration_s = 0.0;
+  /// Node that holds a local replica of this task's input block; -1 if the
+  /// task has no locality preference. Only the static scheduler honors it.
+  int preferred_node = -1;
+};
+
+/// Outcome of replaying a task bag on a cluster.
+struct ScheduleResult {
+  /// Wall-clock of the slowest node, in simulated seconds.
+  double makespan_s = 0.0;
+  /// Busy time per node.
+  std::vector<double> node_busy_s;
+  /// sum(work) / (makespan * total cores): 1.0 = perfectly balanced.
+  double utilization = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Spark-style scheduling: one global queue of tasks; every core slot in
+/// the cluster pulls the next task the moment it frees up (late binding).
+/// This is what gives Spark its good load balance in the paper's Fig. 4
+/// discussion.
+ScheduleResult SimulateDynamic(const ClusterSpec& cluster,
+                               const std::vector<SimTask>& tasks);
+
+/// Impala-style scheduling: tasks are assigned to nodes at *plan time* —
+/// honoring `preferred_node` when set, else round-robin — and never move.
+/// Within a node, tasks are statically chunked across cores (the OpenMP
+/// `schedule(static)` analog the paper was forced into by GEOS thread
+/// safety). Captures the inter- and intra-node imbalance behind ISP-MC's
+/// Fig. 5 flattening.
+ScheduleResult SimulateStatic(const ClusterSpec& cluster,
+                              const std::vector<SimTask>& tasks);
+
+}  // namespace cloudjoin::sim
+
+#endif  // CLOUDJOIN_SIM_SCHEDULER_H_

@@ -1,0 +1,251 @@
+#ifndef CLOUDJOIN_SPARK_RDD_H_
+#define CLOUDJOIN_SPARK_RDD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spark/spark_context.h"
+
+namespace cloudjoin::spark {
+
+/// A Resilient-Distributed-Dataset-style lazy, partitioned collection.
+///
+/// Narrow transformations compose into a per-record closure pipeline that
+/// executes when an action runs — each record flows through one
+/// `std::function` hop per transformation, which is the (intentional)
+/// per-record dispatch overhead of this engine, standing in for the JVM
+/// iterator chains of real Spark. Contrast with `impala::RowBatch`.
+template <typename T>
+class Rdd {
+ public:
+  using EmitFn = std::function<void(const T&)>;
+  /// Streams partition `p`'s records into `emit`.
+  using ComputeFn = std::function<void(int p, const EmitFn& emit)>;
+
+  Rdd() = default;
+  Rdd(SparkContext* ctx, int num_partitions, std::string name,
+      ComputeFn compute)
+      : ctx_(ctx),
+        num_partitions_(num_partitions),
+        name_(std::move(name)),
+        compute_(std::move(compute)) {}
+
+  SparkContext* context() const { return ctx_; }
+  int num_partitions() const { return num_partitions_; }
+  const std::string& name() const { return name_; }
+
+  // -- Narrow transformations (lazy, pipelined) ----------------------------
+
+  /// Element-wise transform.
+  template <typename U>
+  Rdd<U> Map(std::function<U(const T&)> fn) const {
+    ComputeFn parent = compute_;
+    typename Rdd<U>::ComputeFn compute =
+        [parent, fn](int p, const typename Rdd<U>::EmitFn& emit) {
+          parent(p, [&](const T& t) { emit(fn(t)); });
+        };
+    return Rdd<U>(ctx_, num_partitions_, name_ + ".map", std::move(compute));
+  }
+
+  /// Keeps records satisfying `fn`.
+  Rdd<T> Filter(std::function<bool(const T&)> fn) const {
+    ComputeFn parent = compute_;
+    ComputeFn compute = [parent, fn](int p, const EmitFn& emit) {
+      parent(p, [&](const T& t) {
+        if (fn(t)) emit(t);
+      });
+    };
+    return Rdd<T>(ctx_, num_partitions_, name_ + ".filter",
+                  std::move(compute));
+  }
+
+  /// One-to-many transform; `fn` pushes outputs into its emit callback
+  /// (iterator-style, no per-record vector allocation).
+  template <typename U>
+  Rdd<U> FlatMap(
+      std::function<void(const T&, const std::function<void(const U&)>&)> fn)
+      const {
+    ComputeFn parent = compute_;
+    typename Rdd<U>::ComputeFn compute =
+        [parent, fn](int p, const typename Rdd<U>::EmitFn& emit) {
+          parent(p, [&](const T& t) { fn(t, emit); });
+        };
+    return Rdd<U>(ctx_, num_partitions_, name_ + ".flatMap",
+                  std::move(compute));
+  }
+
+  /// Pairs every record with its global index. As in Spark, this triggers
+  /// an extra counting job to learn partition offsets.
+  Rdd<std::pair<T, int64_t>> ZipWithIndex() const {
+    auto counts = std::make_shared<std::vector<int64_t>>(num_partitions_, 0);
+    ComputeFn parent = compute_;
+    ctx_->RunStage(name_ + ".zipWithIndex.count", num_partitions_,
+                   [&](int p) {
+                     int64_t n = 0;
+                     parent(p, [&n](const T&) { ++n; });
+                     (*counts)[p] = n;
+                   });
+    auto offsets = std::make_shared<std::vector<int64_t>>(num_partitions_, 0);
+    int64_t running = 0;
+    for (int p = 0; p < num_partitions_; ++p) {
+      (*offsets)[p] = running;
+      running += (*counts)[p];
+    }
+    using Out = std::pair<T, int64_t>;
+    typename Rdd<Out>::ComputeFn compute =
+        [parent, offsets](int p, const typename Rdd<Out>::EmitFn& emit) {
+          int64_t index = (*offsets)[p];
+          parent(p, [&](const T& t) { emit(Out(t, index++)); });
+        };
+    return Rdd<Out>(ctx_, num_partitions_, name_ + ".zipWithIndex",
+                    std::move(compute));
+  }
+
+  /// Materializes partitions in memory on first touch, so later actions
+  /// skip recomputation (Spark's `cache()`).
+  Rdd<T> Cache() const {
+    auto store = std::make_shared<std::vector<std::unique_ptr<std::vector<T>>>>();
+    store->resize(num_partitions_);
+    ComputeFn parent = compute_;
+    ComputeFn compute = [parent, store](int p, const EmitFn& emit) {
+      if (!(*store)[p]) {
+        auto data = std::make_unique<std::vector<T>>();
+        parent(p, [&](const T& t) { data->push_back(t); });
+        (*store)[p] = std::move(data);
+      }
+      for (const T& t : *(*store)[p]) emit(t);
+    };
+    return Rdd<T>(ctx_, num_partitions_, name_ + ".cache",
+                  std::move(compute));
+  }
+
+  /// Streams partition `p` through `emit` (used by wide operations and by
+  /// co-partitioned joins that need to read a sibling RDD's partition).
+  void ComputePartition(int p, const EmitFn& emit) const { compute_(p, emit); }
+
+  // -- Actions (run a measured job) ----------------------------------------
+
+  /// Gathers all records to the driver, in partition order.
+  std::vector<T> Collect() const {
+    std::vector<std::vector<T>> parts(num_partitions_);
+    ComputeFn compute = compute_;
+    ctx_->RunStage(name_ + ".collect", num_partitions_, [&](int p) {
+      compute(p, [&](const T& t) { parts[p].push_back(t); });
+    });
+    std::vector<T> out;
+    size_t total = 0;
+    for (const auto& part : parts) total += part.size();
+    out.reserve(total);
+    for (auto& part : parts) {
+      std::move(part.begin(), part.end(), std::back_inserter(out));
+      part.clear();
+    }
+    return out;
+  }
+
+  /// Number of records.
+  int64_t Count() const {
+    std::vector<int64_t> counts(num_partitions_, 0);
+    ComputeFn compute = compute_;
+    ctx_->RunStage(name_ + ".count", num_partitions_, [&](int p) {
+      int64_t n = 0;
+      compute(p, [&n](const T&) { ++n; });
+      counts[p] = n;
+    });
+    int64_t total = 0;
+    for (int64_t n : counts) total += n;
+    return total;
+  }
+
+  /// Runs `fn` over every record (driver-side side effects).
+  void ForEach(const std::function<void(const T&)>& fn) const {
+    ComputeFn compute = compute_;
+    ctx_->RunStage(name_ + ".forEach", num_partitions_,
+                   [&](int p) { compute(p, fn); });
+  }
+
+  /// Runs `fn(partition_id, records)` per partition.
+  void ForEachPartition(
+      const std::function<void(int, const std::vector<T>&)>& fn) const {
+    ComputeFn compute = compute_;
+    ctx_->RunStage(name_ + ".forEachPartition", num_partitions_, [&](int p) {
+      std::vector<T> records;
+      compute(p, [&](const T& t) { records.push_back(t); });
+      fn(p, records);
+    });
+  }
+
+ private:
+  SparkContext* ctx_ = nullptr;
+  int num_partitions_ = 0;
+  std::string name_;
+  ComputeFn compute_;
+};
+
+/// Wide dependency: redistributes key-value records into `num_partitions`
+/// buckets by `partition_func(key)` (Spark's shuffle). The map side runs as
+/// a measured stage; the materialized buckets stand in for shuffle files.
+/// `partition_func` defaults to `std::hash`; pass an identity function for
+/// spatial tiles so tile i lands in partition i.
+template <typename K, typename V>
+Rdd<std::pair<K, V>> PartitionByKey(
+    const Rdd<std::pair<K, V>>& parent, int num_partitions,
+    std::function<int(const K&)> partition_func = nullptr) {
+  using KV = std::pair<K, V>;
+  if (!partition_func) {
+    partition_func = [](const K& k) {
+      return static_cast<int>(std::hash<K>{}(k));
+    };
+  }
+  auto buckets =
+      std::make_shared<std::vector<std::vector<KV>>>(num_partitions);
+  SparkContext* ctx = parent.context();
+  // Shuffle-write stage (measured). Single-process engine: one shared
+  // bucket set stands in for the shuffle files.
+  ctx->RunStage(parent.name() + ".shuffleWrite", parent.num_partitions(),
+                [&](int p) {
+                  parent.ComputePartition(p, [&](const KV& kv) {
+                    int bucket = partition_func(kv.first) % num_partitions;
+                    if (bucket < 0) bucket += num_partitions;
+                    (*buckets)[static_cast<size_t>(bucket)].push_back(kv);
+                  });
+                });
+  typename Rdd<KV>::ComputeFn compute =
+      [buckets](int p, const typename Rdd<KV>::EmitFn& emit) {
+        for (const KV& kv : (*buckets)[static_cast<size_t>(p)]) emit(kv);
+      };
+  return Rdd<KV>(ctx, num_partitions, parent.name() + ".partitionBy",
+                 std::move(compute));
+}
+
+inline Rdd<std::string> SparkContext::TextFile(const std::string& path,
+                                               int num_partitions) {
+  if (num_partitions <= 0) num_partitions = default_parallelism_;
+  auto file_or = fs_->GetFile(path);
+  CLOUDJOIN_CHECK(file_or.ok()) << file_or.status();
+  const dfs::SimFile* file = *file_or;
+  const int64_t size = file->size();
+  const int64_t split = std::max<int64_t>(1, (size + num_partitions - 1) /
+                                                 num_partitions);
+  Rdd<std::string>::ComputeFn compute =
+      [file, split, size](int p, const Rdd<std::string>::EmitFn& emit) {
+        int64_t offset = static_cast<int64_t>(p) * split;
+        if (offset >= size) return;
+        dfs::LineRecordReader reader(file->data(), offset, split);
+        std::string_view line;
+        while (reader.Next(&line)) {
+          emit(std::string(line));
+        }
+      };
+  return Rdd<std::string>(this, num_partitions, "textFile(" + path + ")",
+                          std::move(compute));
+}
+
+}  // namespace cloudjoin::spark
+
+#endif  // CLOUDJOIN_SPARK_RDD_H_

@@ -1,0 +1,125 @@
+#ifndef CLOUDJOIN_SPARK_SPARK_CONTEXT_H_
+#define CLOUDJOIN_SPARK_SPARK_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "dfs/sim_file_system.h"
+
+namespace cloudjoin::spark {
+
+template <typename T>
+class Rdd;
+
+/// Measured execution record of one job stage: the per-partition (= task)
+/// wall-clock durations of the real computation. The cluster simulator
+/// replays these under Spark's dynamic scheduling discipline.
+struct StageMetrics {
+  std::string name;
+  std::vector<double> task_seconds;
+  /// Bytes shuffled/broadcast by this stage (0 for narrow stages).
+  int64_t bytes_moved = 0;
+
+  double TotalSeconds() const {
+    double total = 0.0;
+    for (double s : task_seconds) total += s;
+    return total;
+  }
+};
+
+/// Read-only value shipped to every executor, as in Spark. The driver
+/// registers its serialized size so the simulator can charge broadcast
+/// time.
+template <typename T>
+class Broadcast {
+ public:
+  Broadcast() = default;
+  Broadcast(std::shared_ptr<const T> value, int64_t bytes)
+      : value_(std::move(value)), bytes_(bytes) {}
+
+  const T& value() const { return *value_; }
+  int64_t bytes() const { return bytes_; }
+
+ private:
+  std::shared_ptr<const T> value_;
+  int64_t bytes_ = 0;
+};
+
+/// The driver-side entry point of the Spark-like engine.
+///
+/// Execution model (mirroring Spark's essentials):
+///  * RDDs are lazy; narrow transformations (map/filter/flatMap) pipeline
+///    into the same stage and run per-record through type-erased closures —
+///    the per-record dispatch cost that distinguishes Spark's execution
+///    from Impala's vectorized row batches in the paper's comparison;
+///  * actions run "jobs": every partition executes for real and its task
+///    duration is measured into `stages()`;
+///  * broadcasts record their size for the network cost model.
+class SparkContext {
+ public:
+  /// `fs` must outlive the context. `default_parallelism` is the partition
+  /// count used when callers do not specify one.
+  SparkContext(dfs::SimFileSystem* fs, int default_parallelism = 16)
+      : fs_(fs), default_parallelism_(default_parallelism) {
+    CLOUDJOIN_CHECK(fs != nullptr);
+    CLOUDJOIN_CHECK(default_parallelism >= 1);
+  }
+
+  SparkContext(const SparkContext&) = delete;
+  SparkContext& operator=(const SparkContext&) = delete;
+
+  /// Reads a DFS text file as an RDD of lines split into `num_partitions`
+  /// byte ranges (HDFS-split line semantics). Pass 0 to use the default
+  /// parallelism. Defined in rdd.h to break the circular dependency.
+  Rdd<std::string> TextFile(const std::string& path, int num_partitions = 0);
+
+  /// Ships `value` to all executors.
+  template <typename T>
+  Broadcast<T> BroadcastValue(std::shared_ptr<const T> value, int64_t bytes) {
+    broadcast_bytes_ += bytes;
+    return Broadcast<T>(std::move(value), bytes);
+  }
+
+  /// Runs one job stage: executes `task` for each partition, measuring each
+  /// task's duration. Called by RDD actions; also usable directly for
+  /// driver-coordinated work.
+  void RunStage(const std::string& name, int num_partitions,
+                const std::function<void(int)>& task) {
+    StageMetrics metrics;
+    metrics.name = name;
+    metrics.task_seconds.reserve(num_partitions);
+    for (int p = 0; p < num_partitions; ++p) {
+      CpuTimer watch;
+      task(p);
+      metrics.task_seconds.push_back(watch.ElapsedSeconds());
+    }
+    stages_.push_back(std::move(metrics));
+  }
+
+  dfs::SimFileSystem* fs() const { return fs_; }
+  int default_parallelism() const { return default_parallelism_; }
+
+  const std::vector<StageMetrics>& stages() const { return stages_; }
+  int64_t broadcast_bytes() const { return broadcast_bytes_; }
+
+  /// Clears recorded metrics (between experiments).
+  void ResetMetrics() {
+    stages_.clear();
+    broadcast_bytes_ = 0;
+  }
+
+ private:
+  dfs::SimFileSystem* fs_;
+  int default_parallelism_;
+  std::vector<StageMetrics> stages_;
+  int64_t broadcast_bytes_ = 0;
+};
+
+}  // namespace cloudjoin::spark
+
+#endif  // CLOUDJOIN_SPARK_SPARK_CONTEXT_H_

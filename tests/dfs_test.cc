@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "dfs/sim_file_system.h"
+
+namespace cloudjoin::dfs {
+namespace {
+
+TEST(SimFileSystemTest, WriteAndRead) {
+  SimFileSystem fs(4, 1024);
+  ASSERT_TRUE(fs.WriteTextFile("/a.txt", {"hello", "world"}).ok());
+  auto file = fs.GetFile("/a.txt");
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->data(), "hello\nworld\n");
+  EXPECT_TRUE(fs.Exists("/a.txt"));
+  EXPECT_FALSE(fs.Exists("/b.txt"));
+}
+
+TEST(SimFileSystemTest, MissingFileIsNotFound) {
+  SimFileSystem fs(2);
+  auto file = fs.GetFile("/nope");
+  EXPECT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SimFileSystemTest, DeleteAndList) {
+  SimFileSystem fs(2);
+  ASSERT_TRUE(fs.WriteFile("/x", "1").ok());
+  ASSERT_TRUE(fs.WriteFile("/y", "2").ok());
+  EXPECT_EQ(fs.ListFiles().size(), 2u);
+  EXPECT_TRUE(fs.DeleteFile("/x").ok());
+  EXPECT_FALSE(fs.DeleteFile("/x").ok());
+  EXPECT_EQ(fs.ListFiles().size(), 1u);
+  EXPECT_EQ(fs.TotalBytes(), 1);
+}
+
+TEST(SimFileSystemTest, BlocksCoverFileWithReplicas) {
+  SimFileSystem fs(5, /*block_size=*/100, /*replication=*/3);
+  std::string data(950, 'x');
+  ASSERT_TRUE(fs.WriteFile("/big", data).ok());
+  auto file = fs.GetFile("/big");
+  ASSERT_TRUE(file.ok());
+  const auto& blocks = (*file)->blocks();
+  ASSERT_EQ(blocks.size(), 10u);
+  int64_t covered = 0;
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ(blocks[i].offset, static_cast<int64_t>(i) * 100);
+    covered += blocks[i].length;
+    EXPECT_EQ(blocks[i].replica_nodes.size(), 3u);
+    std::set<int> distinct(blocks[i].replica_nodes.begin(),
+                           blocks[i].replica_nodes.end());
+    EXPECT_EQ(distinct.size(), 3u) << "replicas must be distinct nodes";
+    for (int node : blocks[i].replica_nodes) {
+      EXPECT_GE(node, 0);
+      EXPECT_LT(node, 5);
+    }
+  }
+  EXPECT_EQ(covered, 950);
+  EXPECT_EQ(blocks.back().length, 50);
+}
+
+TEST(SimFileSystemTest, ReplicationClampedToNodes) {
+  SimFileSystem fs(2, 100, /*replication=*/3);
+  ASSERT_TRUE(fs.WriteFile("/f", "abc").ok());
+  auto file = fs.GetFile("/f");
+  EXPECT_EQ((*file)->blocks()[0].replica_nodes.size(), 2u);
+}
+
+TEST(SimFileSystemTest, PrimaryReplicaRoundRobins) {
+  SimFileSystem fs(3, 10);
+  ASSERT_TRUE(fs.WriteFile("/f", std::string(35, 'a')).ok());
+  auto file = fs.GetFile("/f");
+  const auto& blocks = (*file)->blocks();
+  ASSERT_EQ(blocks.size(), 4u);
+  EXPECT_EQ(blocks[0].replica_nodes[0], 0);
+  EXPECT_EQ(blocks[1].replica_nodes[0], 1);
+  EXPECT_EQ(blocks[2].replica_nodes[0], 2);
+  EXPECT_EQ(blocks[3].replica_nodes[0], 0);
+}
+
+TEST(LineRecordReaderTest, ReadsWholeFile) {
+  std::string data = "a\nbb\nccc\n";
+  LineRecordReader reader(data, 0, static_cast<int64_t>(data.size()));
+  std::string_view line;
+  ASSERT_TRUE(reader.Next(&line));
+  EXPECT_EQ(line, "a");
+  ASSERT_TRUE(reader.Next(&line));
+  EXPECT_EQ(line, "bb");
+  ASSERT_TRUE(reader.Next(&line));
+  EXPECT_EQ(line, "ccc");
+  EXPECT_FALSE(reader.Next(&line));
+}
+
+TEST(LineRecordReaderTest, NoTrailingNewline) {
+  std::string data = "a\nb";
+  LineRecordReader reader(data, 0, 3);
+  std::string_view line;
+  ASSERT_TRUE(reader.Next(&line));
+  EXPECT_EQ(line, "a");
+  ASSERT_TRUE(reader.Next(&line));
+  EXPECT_EQ(line, "b");
+  EXPECT_FALSE(reader.Next(&line));
+}
+
+TEST(LineRecordReaderTest, SplitOwnership) {
+  // "aaaa\nbbbb\ncccc\n": a split starting mid-line skips it; a split
+  // ending mid-line finishes it.
+  std::string data = "aaaa\nbbbb\ncccc\n";
+  {
+    LineRecordReader first(data, 0, 7);  // ends inside "bbbb"
+    std::string_view line;
+    ASSERT_TRUE(first.Next(&line));
+    EXPECT_EQ(line, "aaaa");
+    ASSERT_TRUE(first.Next(&line));
+    EXPECT_EQ(line, "bbbb");  // owns the straddling line
+    EXPECT_FALSE(first.Next(&line));
+  }
+  {
+    LineRecordReader second(data, 7, 8);  // starts inside "bbbb"
+    std::string_view line;
+    ASSERT_TRUE(second.Next(&line));
+    EXPECT_EQ(line, "cccc");  // skipped the partial line
+    EXPECT_FALSE(second.Next(&line));
+  }
+}
+
+// Property: any partition of the byte range into contiguous splits yields
+// each line exactly once, in order.
+class SplitProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitProperty, EveryLineExactlyOnce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 131);
+  std::vector<std::string> lines;
+  std::string data;
+  int n = 50 + static_cast<int>(rng.UniformInt(200));
+  for (int i = 0; i < n; ++i) {
+    std::string line = "line" + std::to_string(i);
+    int pad = static_cast<int>(rng.UniformInt(30));
+    line.append(static_cast<size_t>(pad), 'x');
+    lines.push_back(line);
+    data += line;
+    data.push_back('\n');
+  }
+  // Random contiguous split boundaries.
+  int num_splits = 1 + static_cast<int>(rng.UniformInt(12));
+  std::vector<int64_t> cuts = {0};
+  for (int i = 0; i < num_splits - 1; ++i) {
+    cuts.push_back(static_cast<int64_t>(rng.UniformInt(data.size())));
+  }
+  cuts.push_back(static_cast<int64_t>(data.size()));
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::vector<std::string> seen;
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    LineRecordReader reader(data, cuts[i], cuts[i + 1] - cuts[i]);
+    std::string_view line;
+    while (reader.Next(&line)) seen.emplace_back(line);
+  }
+  EXPECT_EQ(seen, lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitProperty, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace cloudjoin::dfs

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/predicates.h"
+#include "geom/wkt.h"
+#include "geosim/geometry.h"
+#include "geosim/operations.h"
+#include "geosim/wkt_reader.h"
+
+namespace cloudjoin::geosim {
+namespace {
+
+const GeometryFactory& Factory() {
+  static const GeometryFactory factory;
+  return factory;
+}
+
+std::unique_ptr<Geometry> Parse(const std::string& wkt) {
+  WKTReader reader(&Factory());
+  auto g = reader.read(wkt);
+  EXPECT_TRUE(g.ok()) << wkt << ": " << g.status();
+  return std::move(g).value();
+}
+
+TEST(GeosimFactoryTest, CreatesPoint) {
+  auto p = Factory().createPoint(Coordinate(3, 4));
+  EXPECT_EQ(p->getGeometryTypeId(), GeometryTypeId::kPoint);
+  EXPECT_EQ(p->getX(), 3);
+  EXPECT_EQ(p->getY(), 4);
+  EXPECT_EQ(p->getNumPoints(), 1u);
+}
+
+TEST(GeosimFactoryTest, LinearRingAutoCloses) {
+  auto ring = Factory().createLinearRing({{0, 0}, {4, 0}, {4, 4}});
+  EXPECT_EQ(ring->getNumPoints(), 4u);  // closing vertex added
+}
+
+TEST(GeosimTest, EnvelopeLazilyComputedAndCached) {
+  auto line = Factory().createLineString({{0, 0}, {10, 5}});
+  const geom::Envelope& env1 = line->getEnvelopeInternal();
+  const geom::Envelope& env2 = line->getEnvelopeInternal();
+  EXPECT_EQ(&env1, &env2);  // cached
+  EXPECT_EQ(env1.max_x(), 10);
+  EXPECT_EQ(env1.max_y(), 5);
+}
+
+TEST(GeosimTest, WithinPolygon) {
+  auto poly = Parse("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))");
+  auto inside = Factory().createPoint(Coordinate(5, 5));
+  auto outside = Factory().createPoint(Coordinate(15, 5));
+  EXPECT_TRUE(inside->within(poly.get()));
+  EXPECT_FALSE(outside->within(poly.get()));
+}
+
+TEST(GeosimTest, WithinRespectsHoles) {
+  auto poly = Parse(
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (3 3, 7 3, 7 7, 3 7, 3 3))");
+  EXPECT_FALSE(Factory().createPoint(Coordinate(5, 5))->within(poly.get()));
+  EXPECT_TRUE(Factory().createPoint(Coordinate(1, 1))->within(poly.get()));
+}
+
+TEST(GeosimTest, DistancePointToLine) {
+  auto line = Parse("LINESTRING (0 0, 10 0)");
+  auto p = Factory().createPoint(Coordinate(5, 3));
+  EXPECT_DOUBLE_EQ(p->distance(line.get()), 3.0);
+  EXPECT_TRUE(p->isWithinDistance(line.get(), 3.0));
+  EXPECT_FALSE(p->isWithinDistance(line.get(), 2.9));
+}
+
+TEST(GeosimTest, DistanceInsidePolygonIsZero) {
+  auto poly = Parse("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))");
+  auto p = Factory().createPoint(Coordinate(5, 5));
+  EXPECT_EQ(p->distance(poly.get()), 0.0);
+}
+
+TEST(GeosimTest, IntersectsPolygons) {
+  auto a = Parse("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))");
+  auto b = Parse("POLYGON ((5 5, 15 5, 15 15, 5 15, 5 5))");
+  auto c = Parse("POLYGON ((20 20, 30 20, 30 30, 20 30, 20 20))");
+  EXPECT_TRUE(a->intersects(b.get()));
+  EXPECT_FALSE(a->intersects(c.get()));
+}
+
+TEST(GeosimTest, RayCrossingCounter) {
+  RayCrossingCounter counter(Coordinate(5, 5));
+  counter.countSegment({0, 0}, {10, 0});
+  counter.countSegment({10, 0}, {10, 10});
+  counter.countSegment({10, 10}, {0, 10});
+  counter.countSegment({0, 10}, {0, 0});
+  EXPECT_EQ(counter.getLocation(), Location::kInterior);
+}
+
+TEST(GeosimTest, ExtractSegmentsFromPolygonWithHole) {
+  auto poly = Parse(
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (3 3, 7 3, 7 7, 3 7, 3 3))");
+  EXPECT_EQ(extractSegments(poly.get()).size(), 8u);  // 4 shell + 4 hole
+}
+
+TEST(GeosimWktTest, ParsesAllTypes) {
+  EXPECT_EQ(Parse("POINT (1 2)")->getGeometryTypeId(),
+            GeometryTypeId::kPoint);
+  EXPECT_EQ(Parse("LINESTRING (0 0, 1 1)")->getGeometryTypeId(),
+            GeometryTypeId::kLineString);
+  EXPECT_EQ(Parse("POLYGON ((0 0, 1 0, 1 1, 0 0))")->getGeometryTypeId(),
+            GeometryTypeId::kPolygon);
+  EXPECT_EQ(Parse("MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)))")
+                ->getGeometryTypeId(),
+            GeometryTypeId::kMultiPolygon);
+  EXPECT_EQ(Parse("MULTILINESTRING ((0 0, 1 1))")->getGeometryTypeId(),
+            GeometryTypeId::kMultiLineString);
+  EXPECT_EQ(Parse("MULTIPOINT (1 2, 3 4)")->getGeometryTypeId(),
+            GeometryTypeId::kMultiPoint);
+}
+
+TEST(GeosimWktTest, RejectsGarbage) {
+  WKTReader reader(&Factory());
+  EXPECT_FALSE(reader.read("BLOB (1 2)").ok());
+  EXPECT_FALSE(reader.read("").ok());
+}
+
+// ---- Cross-library equivalence: geosim must agree exactly with geom. ----
+//
+// This is the load-bearing property for the paper reproduction: the two
+// libraries are the same algorithms with different memory behaviour, so
+// join results are identical regardless of which engine ran them.
+
+class CrossLibraryProperty : public ::testing::TestWithParam<int> {};
+
+std::string RandomStarPolygonWkt(cloudjoin::Rng* rng, double cx, double cy) {
+  int n = 3 + static_cast<int>(rng->UniformInt(40));
+  std::string wkt = "POLYGON ((";
+  char buf[64];
+  double x0 = 0, y0 = 0;
+  for (int i = 0; i < n; ++i) {
+    double theta = 6.283185307179586 * i / n;
+    double r = rng->Uniform(2.0, 30.0);
+    double x = cx + r * std::cos(theta);
+    double y = cy + r * std::sin(theta);
+    if (i == 0) {
+      x0 = x;
+      y0 = y;
+    } else {
+      wkt += ", ";
+    }
+    std::snprintf(buf, sizeof(buf), "%.10g %.10g", x, y);
+    wkt += buf;
+  }
+  std::snprintf(buf, sizeof(buf), ", %.10g %.10g))", x0, y0);
+  wkt += buf;
+  return wkt;
+}
+
+TEST_P(CrossLibraryProperty, WithinAgrees) {
+  cloudjoin::Rng rng(static_cast<uint64_t>(GetParam()) * 7919);
+  WKTReader reader(&Factory());
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string poly_wkt = RandomStarPolygonWkt(&rng, 0, 0);
+    double px = rng.Uniform(-35, 35);
+    double py = rng.Uniform(-35, 35);
+    char point_wkt[80];
+    std::snprintf(point_wkt, sizeof(point_wkt), "POINT (%.10g %.10g)", px, py);
+
+    auto fast_poly = geom::ReadWkt(poly_wkt);
+    auto fast_point = geom::ReadWkt(point_wkt);
+    ASSERT_TRUE(fast_poly.ok());
+    ASSERT_TRUE(fast_point.ok());
+    bool fast = geom::Within(*fast_point, *fast_poly);
+
+    auto slow_poly = reader.read(poly_wkt);
+    auto slow_point = reader.read(point_wkt);
+    ASSERT_TRUE(slow_poly.ok());
+    ASSERT_TRUE(slow_point.ok());
+    bool slow = (*slow_point)->within(slow_poly->get());
+
+    EXPECT_EQ(fast, slow) << point_wkt << " vs " << poly_wkt;
+  }
+}
+
+TEST_P(CrossLibraryProperty, DistanceAgrees) {
+  cloudjoin::Rng rng(static_cast<uint64_t>(GetParam()) * 104729);
+  WKTReader reader(&Factory());
+  for (int trial = 0; trial < 60; ++trial) {
+    int n = 2 + static_cast<int>(rng.UniformInt(6));
+    std::string line_wkt = "LINESTRING (";
+    char buf[64];
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) line_wkt += ", ";
+      std::snprintf(buf, sizeof(buf), "%.10g %.10g", rng.Uniform(-50, 50),
+                    rng.Uniform(-50, 50));
+      line_wkt += buf;
+    }
+    line_wkt += ")";
+    char point_wkt[80];
+    std::snprintf(point_wkt, sizeof(point_wkt), "POINT (%.10g %.10g)",
+                  rng.Uniform(-60, 60), rng.Uniform(-60, 60));
+
+    auto fast_line = geom::ReadWkt(line_wkt);
+    auto fast_point = geom::ReadWkt(point_wkt);
+    ASSERT_TRUE(fast_line.ok());
+    ASSERT_TRUE(fast_point.ok());
+    double fast = geom::Distance(*fast_point, *fast_line);
+
+    auto slow_line = reader.read(line_wkt);
+    auto slow_point = reader.read(point_wkt);
+    ASSERT_TRUE(slow_line.ok());
+    ASSERT_TRUE(slow_point.ok());
+    double slow = (*slow_point)->distance(slow_line->get());
+
+    EXPECT_DOUBLE_EQ(fast, slow) << point_wkt << " vs " << line_wkt;
+
+    // And the thresholded predicate both ways around the exact distance.
+    double d = fast;
+    EXPECT_EQ(geom::WithinDistance(*fast_point, *fast_line, d + 0.001),
+              (*slow_point)->isWithinDistance(slow_line->get(), d + 0.001));
+  }
+}
+
+TEST_P(CrossLibraryProperty, IntersectsAgrees) {
+  cloudjoin::Rng rng(static_cast<uint64_t>(GetParam()) * 1299709);
+  WKTReader reader(&Factory());
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string a_wkt =
+        RandomStarPolygonWkt(&rng, rng.Uniform(-20, 20), rng.Uniform(-20, 20));
+    std::string b_wkt =
+        RandomStarPolygonWkt(&rng, rng.Uniform(-20, 20), rng.Uniform(-20, 20));
+    auto fast_a = geom::ReadWkt(a_wkt);
+    auto fast_b = geom::ReadWkt(b_wkt);
+    ASSERT_TRUE(fast_a.ok());
+    ASSERT_TRUE(fast_b.ok());
+    auto slow_a = reader.read(a_wkt);
+    auto slow_b = reader.read(b_wkt);
+    ASSERT_TRUE(slow_a.ok());
+    ASSERT_TRUE(slow_b.ok());
+    EXPECT_EQ(geom::Intersects(*fast_a, *fast_b),
+              (*slow_a)->intersects(slow_b->get()))
+        << a_wkt << " vs " << b_wkt;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossLibraryProperty, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace cloudjoin::geosim

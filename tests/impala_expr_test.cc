@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "impala/expr.h"
+
+namespace cloudjoin::impala {
+namespace {
+
+std::unique_ptr<Expr> Lit(int64_t v) {
+  return std::make_unique<LiteralExpr>(Value{v}, ColumnType::kInt64);
+}
+std::unique_ptr<Expr> Lit(double v) {
+  return std::make_unique<LiteralExpr>(Value{v}, ColumnType::kDouble);
+}
+std::unique_ptr<Expr> Lit(const std::string& v) {
+  return std::make_unique<LiteralExpr>(Value{v}, ColumnType::kString);
+}
+std::unique_ptr<Expr> Null() {
+  return std::make_unique<LiteralExpr>(Value{}, ColumnType::kInt64);
+}
+
+Value Bin(const std::string& op, std::unique_ptr<Expr> l,
+          std::unique_ptr<Expr> r) {
+  BinaryExpr expr(op, std::move(l), std::move(r));
+  return expr.Evaluate(nullptr, nullptr);
+}
+
+TEST(ExprTest, IntegerArithmeticStaysIntegral) {
+  EXPECT_EQ(std::get<int64_t>(Bin("+", Lit(int64_t{2}), Lit(int64_t{3}))), 5);
+  EXPECT_EQ(std::get<int64_t>(Bin("-", Lit(int64_t{2}), Lit(int64_t{3}))), -1);
+  EXPECT_EQ(std::get<int64_t>(Bin("*", Lit(int64_t{4}), Lit(int64_t{3}))), 12);
+}
+
+TEST(ExprTest, MixedArithmeticPromotesToDouble) {
+  EXPECT_DOUBLE_EQ(std::get<double>(Bin("+", Lit(int64_t{2}), Lit(0.5))),
+                   2.5);
+  EXPECT_DOUBLE_EQ(std::get<double>(Bin("*", Lit(1.5), Lit(int64_t{4}))),
+                   6.0);
+}
+
+TEST(ExprTest, DivisionAlwaysDouble) {
+  EXPECT_DOUBLE_EQ(std::get<double>(Bin("/", Lit(int64_t{7}), Lit(int64_t{2}))),
+                   3.5);
+}
+
+TEST(ExprTest, DivisionByZeroIsNull) {
+  EXPECT_TRUE(IsNull(Bin("/", Lit(int64_t{7}), Lit(int64_t{0}))));
+}
+
+TEST(ExprTest, NumericComparisons) {
+  EXPECT_TRUE(std::get<bool>(Bin("<", Lit(int64_t{1}), Lit(2.0))));
+  EXPECT_FALSE(std::get<bool>(Bin(">", Lit(int64_t{1}), Lit(2.0))));
+  EXPECT_TRUE(std::get<bool>(Bin("=", Lit(3.0), Lit(int64_t{3}))));
+  EXPECT_TRUE(std::get<bool>(Bin("<=", Lit(int64_t{3}), Lit(int64_t{3}))));
+  EXPECT_TRUE(std::get<bool>(Bin("<>", Lit(int64_t{3}), Lit(int64_t{4}))));
+}
+
+TEST(ExprTest, StringComparisons) {
+  EXPECT_TRUE(std::get<bool>(Bin("=", Lit("abc"), Lit("abc"))));
+  EXPECT_TRUE(std::get<bool>(Bin("<", Lit("abc"), Lit("abd"))));
+  EXPECT_FALSE(std::get<bool>(Bin(">=", Lit("abc"), Lit("abd"))));
+}
+
+TEST(ExprTest, NullPropagatesThroughComparison) {
+  EXPECT_TRUE(IsNull(Bin("=", Null(), Lit(int64_t{1}))));
+  EXPECT_TRUE(IsNull(Bin("+", Lit(int64_t{1}), Null())));
+}
+
+TEST(ExprTest, AndOrShortCircuit) {
+  auto t = std::make_unique<LiteralExpr>(Value{true}, ColumnType::kBool);
+  auto f = std::make_unique<LiteralExpr>(Value{false}, ColumnType::kBool);
+  EXPECT_FALSE(std::get<bool>(Bin("AND", std::move(f), Null())));
+  auto t2 = std::make_unique<LiteralExpr>(Value{true}, ColumnType::kBool);
+  EXPECT_TRUE(std::get<bool>(Bin("OR", std::move(t), std::move(t2))));
+}
+
+TEST(ExprTest, SlotRefReadsCorrectSide) {
+  Row left = {Value{int64_t{1}}, Value{std::string("L")}};
+  Row right = {Value{int64_t{2}}, Value{std::string("R")}};
+  SlotRef left_ref(0, 1, ColumnType::kString);
+  SlotRef right_ref(1, 1, ColumnType::kString);
+  EXPECT_EQ(std::get<std::string>(left_ref.Evaluate(&left, &right)), "L");
+  EXPECT_EQ(std::get<std::string>(right_ref.Evaluate(&left, &right)), "R");
+  // Missing side evaluates to NULL, not a crash.
+  EXPECT_TRUE(IsNull(right_ref.Evaluate(&left, nullptr)));
+}
+
+TEST(ExprTest, SlotRefOutOfRangeIsNull) {
+  Row left = {Value{int64_t{1}}};
+  SlotRef ref(0, 5, ColumnType::kInt64);
+  EXPECT_TRUE(IsNull(ref.Evaluate(&left, nullptr)));
+}
+
+TEST(ExprTest, EvaluatesTrueRequiresTrueBool) {
+  LiteralExpr t(Value{true}, ColumnType::kBool);
+  LiteralExpr f(Value{false}, ColumnType::kBool);
+  LiteralExpr n(Value{}, ColumnType::kBool);
+  LiteralExpr i(Value{int64_t{1}}, ColumnType::kInt64);
+  EXPECT_TRUE(t.EvaluatesTrue(nullptr, nullptr));
+  EXPECT_FALSE(f.EvaluatesTrue(nullptr, nullptr));
+  EXPECT_FALSE(n.EvaluatesTrue(nullptr, nullptr));
+  EXPECT_FALSE(i.EvaluatesTrue(nullptr, nullptr));  // non-bool is not true
+}
+
+class UdfTest : public ::testing::Test {
+ protected:
+  UdfTest() { RegisterSpatialUdfs(); }
+
+  Value Call(const std::string& name, std::vector<Value> args) {
+    auto udf = UdfRegistry::Global().Lookup(name,
+                                            static_cast<int>(args.size()));
+    CLOUDJOIN_CHECK(udf.ok()) << udf.status();
+    return (*udf)->fn(args);
+  }
+};
+
+TEST_F(UdfTest, RegistryLookup) {
+  EXPECT_TRUE(UdfRegistry::Global().Lookup("ST_WITHIN", 2).ok());
+  EXPECT_FALSE(UdfRegistry::Global().Lookup("ST_WITHIN", 3).ok());  // arity
+  EXPECT_FALSE(UdfRegistry::Global().Lookup("ST_BOGUS", 2).ok());
+  EXPECT_GE(UdfRegistry::Global().ListNames().size(), 7u);
+}
+
+TEST_F(UdfTest, StWithin) {
+  std::string square = "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))";
+  EXPECT_TRUE(std::get<bool>(
+      Call("ST_WITHIN", {Value{std::string("POINT (5 5)")}, Value{square}})));
+  EXPECT_FALSE(std::get<bool>(
+      Call("ST_WITHIN", {Value{std::string("POINT (15 5)")}, Value{square}})));
+}
+
+TEST_F(UdfTest, StWithinInvalidWktIsNull) {
+  EXPECT_TRUE(IsNull(Call("ST_WITHIN", {Value{std::string("JUNK")},
+                                        Value{std::string("POINT (1 1)")}})));
+  EXPECT_TRUE(IsNull(Call("ST_WITHIN", {Value{int64_t{5}},
+                                        Value{std::string("POINT (1 1)")}})));
+}
+
+TEST_F(UdfTest, StNearestD) {
+  std::string line = "LINESTRING (0 0, 10 0)";
+  EXPECT_TRUE(std::get<bool>(Call(
+      "ST_NEARESTD",
+      {Value{std::string("POINT (5 3)")}, Value{line}, Value{3.0}})));
+  EXPECT_FALSE(std::get<bool>(Call(
+      "ST_NEARESTD",
+      {Value{std::string("POINT (5 3)")}, Value{line}, Value{2.5}})));
+  // Integer distance argument also accepted.
+  EXPECT_TRUE(std::get<bool>(Call(
+      "ST_NEARESTD",
+      {Value{std::string("POINT (5 3)")}, Value{line}, Value{int64_t{4}}})));
+}
+
+TEST_F(UdfTest, StDistanceAndCoords) {
+  EXPECT_DOUBLE_EQ(
+      std::get<double>(Call("ST_DISTANCE",
+                            {Value{std::string("POINT (0 0)")},
+                             Value{std::string("POINT (3 4)")}})),
+      5.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(
+                       Call("ST_X", {Value{std::string("POINT (7 8)")}})),
+                   7.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(
+                       Call("ST_Y", {Value{std::string("POINT (7 8)")}})),
+                   8.0);
+  // ST_X of a polygon is NULL.
+  EXPECT_TRUE(IsNull(Call(
+      "ST_X", {Value{std::string("POLYGON ((0 0, 1 0, 1 1, 0 0))")}})));
+}
+
+TEST_F(UdfTest, StNumPoints) {
+  EXPECT_EQ(std::get<int64_t>(Call(
+                "ST_NUMPOINTS",
+                {Value{std::string("LINESTRING (0 0, 1 1, 2 2)")}})),
+            3);
+}
+
+TEST_F(UdfTest, StIntersects) {
+  EXPECT_TRUE(std::get<bool>(
+      Call("ST_INTERSECTS", {Value{std::string("POINT (5 5)")},
+                             Value{std::string(
+                                 "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))")}})));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(ValueToString(Value{}), "NULL");
+  EXPECT_EQ(ValueToString(Value{int64_t{42}}), "42");
+  EXPECT_EQ(ValueToString(Value{std::string("x")}), "x");
+  EXPECT_EQ(ValueToString(Value{true}), "true");
+  EXPECT_EQ(ValueToString(Value{2.5}), "2.5");
+}
+
+TEST(RowBatchTest, CapacityAndAccess) {
+  RowBatch batch;
+  EXPECT_TRUE(batch.IsEmpty());
+  for (int i = 0; i < RowBatch::kCapacity; ++i) {
+    batch.Add(Row{Value{int64_t{i}}});
+  }
+  EXPECT_TRUE(batch.IsFull());
+  EXPECT_EQ(batch.NumRows(), RowBatch::kCapacity);
+  EXPECT_EQ(std::get<int64_t>(batch.row(5)[0]), 5);
+  batch.Clear();
+  EXPECT_TRUE(batch.IsEmpty());
+}
+
+}  // namespace
+}  // namespace cloudjoin::impala

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include "impala/analyzer.h"
+#include "impala/lexer.h"
+#include "impala/parser.h"
+#include "impala/plan.h"
+
+namespace cloudjoin::impala {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT a.x, 'str', 1.5 FROM t WHERE x >= 2;");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->front().kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens->front().text, "SELECT");
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = Tokenize("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto tokens = Tokenize("a <= b >= c <> d != e");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "<=");
+  EXPECT_EQ((*tokens)[3].text, ">=");
+  EXPECT_EQ((*tokens)[5].text, "<>");
+  EXPECT_EQ((*tokens)[7].text, "!=");
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  EXPECT_FALSE(Tokenize("SELECT @x").ok());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = ParseSelect("SELECT id, geom FROM pnt");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->select_list.size(), 2u);
+  EXPECT_EQ((*stmt)->from.table, "pnt");
+  EXPECT_EQ((*stmt)->join_kind, JoinKind::kNone);
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = ParseSelect("SELECT * FROM t WHERE x > 1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE((*stmt)->select_list.empty());
+  ASSERT_NE((*stmt)->where, nullptr);
+}
+
+TEST(ParserTest, SpatialJoinPaperQuery) {
+  // Fig. 1 of the paper, verbatim modulo table names.
+  auto stmt = ParseSelect(
+      "SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly "
+      "WHERE ST_WITHIN (pnt.geom, poly.geom)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->join_kind, JoinKind::kSpatial);
+  EXPECT_EQ((*stmt)->join_table.table, "poly");
+  ASSERT_NE((*stmt)->where, nullptr);
+  EXPECT_EQ((*stmt)->where->kind, AstExpr::Kind::kFunctionCall);
+  EXPECT_EQ((*stmt)->where->func_name, "ST_WITHIN");
+}
+
+TEST(ParserTest, NearestDQuery) {
+  auto stmt = ParseSelect(
+      "SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly "
+      "WHERE ST_NearestD (pnt.geom, poly.geom, 5000)");
+  ASSERT_TRUE(stmt.ok());
+  const AstExpr& call = *(*stmt)->where;
+  ASSERT_EQ(call.args.size(), 3u);
+  EXPECT_EQ(call.args[2]->int_value, 5000);
+}
+
+TEST(ParserTest, AliasesAndQualifiedRefs) {
+  auto stmt = ParseSelect("SELECT p.id FROM pickups p SPATIAL JOIN zones z "
+                          "WHERE ST_WITHIN(p.geom, z.geom)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->from.alias, "p");
+  EXPECT_EQ((*stmt)->join_table.alias, "z");
+}
+
+TEST(ParserTest, GroupByAndLimit) {
+  auto stmt = ParseSelect(
+      "SELECT zone, COUNT(*) AS n FROM t GROUP BY zone LIMIT 10");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->group_by.size(), 1u);
+  EXPECT_EQ((*stmt)->limit, 10);
+  EXPECT_EQ((*stmt)->select_list[1].alias, "n");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = ParseSelect("SELECT * FROM t WHERE a = 1 AND b = 2 OR c = 3");
+  ASSERT_TRUE(stmt.ok());
+  // OR binds loosest.
+  EXPECT_EQ((*stmt)->where->op, "OR");
+  EXPECT_EQ((*stmt)->where->lhs->op, "AND");
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto stmt = ParseSelect("SELECT * FROM t WHERE a + b * 2 > 10");
+  ASSERT_TRUE(stmt.ok());
+  const AstExpr& cmp = *(*stmt)->where;
+  EXPECT_EQ(cmp.op, ">");
+  EXPECT_EQ(cmp.lhs->op, "+");
+  EXPECT_EQ(cmp.lhs->rhs->op, "*");
+}
+
+TEST(ParserTest, CrossJoin) {
+  auto stmt = ParseSelect("SELECT * FROM a CROSS JOIN b WHERE a.x = b.y");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->join_kind, JoinKind::kCross);
+}
+
+TEST(ParserTest, InnerJoinWithOn) {
+  auto stmt = ParseSelect("SELECT * FROM a JOIN b ON a.x = b.y");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->join_kind, JoinKind::kInner);
+  ASSERT_NE((*stmt)->join_on, nullptr);
+}
+
+TEST(ParserTest, NegativeNumbers) {
+  auto stmt = ParseSelect("SELECT * FROM t WHERE x > -5.5");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->where->rhs->kind, AstExpr::Kind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ((*stmt)->where->rhs->double_value, -5.5);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSelect("").ok());
+  EXPECT_FALSE(ParseSelect("UPDATE t SET x = 1").ok());
+  EXPECT_FALSE(ParseSelect("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t extra junk here").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t LIMIT abc").ok());
+}
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  AnalyzerTest() {
+    RegisterSpatialUdfs();
+    TableDef pnt;
+    pnt.name = "pnt";
+    pnt.dfs_path = "/pnt";
+    pnt.columns = {{"id", ColumnType::kInt64},
+                   {"geom", ColumnType::kString},
+                   {"fare", ColumnType::kDouble}};
+    TableDef poly;
+    poly.name = "poly";
+    poly.dfs_path = "/poly";
+    poly.columns = {{"id", ColumnType::kInt64},
+                    {"geom", ColumnType::kString},
+                    {"zone", ColumnType::kString}};
+    CLOUDJOIN_CHECK_OK(catalog_.RegisterTable(pnt));
+    CLOUDJOIN_CHECK_OK(catalog_.RegisterTable(poly));
+  }
+
+  Result<std::unique_ptr<AnalyzedQuery>> Analyze(const std::string& sql) {
+    auto stmt = ParseSelect(sql);
+    if (!stmt.ok()) return stmt.status();
+    Analyzer analyzer(&catalog_);
+    return analyzer.Analyze(**stmt);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(AnalyzerTest, ExtractsSpatialJoinSpec) {
+  auto q = Analyze(
+      "SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly "
+      "WHERE ST_WITHIN(pnt.geom, poly.geom)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_TRUE((*q)->spatial_join.has_value());
+  EXPECT_EQ((*q)->spatial_join->predicate, SpatialJoinSpec::Predicate::kWithin);
+  EXPECT_EQ((*q)->spatial_join->left_geom_slot, 1);
+  EXPECT_EQ((*q)->spatial_join->right_geom_slot, 1);
+  EXPECT_EQ((*q)->projections.size(), 2u);
+}
+
+TEST_F(AnalyzerTest, NearestDDistanceExtracted) {
+  auto q = Analyze(
+      "SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly "
+      "WHERE ST_NEARESTD(pnt.geom, poly.geom, 500)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ((*q)->spatial_join->predicate,
+            SpatialJoinSpec::Predicate::kNearestD);
+  EXPECT_DOUBLE_EQ((*q)->spatial_join->distance, 500.0);
+}
+
+TEST_F(AnalyzerTest, PushesSingleSidedFilters) {
+  auto q = Analyze(
+      "SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly "
+      "WHERE ST_WITHIN(pnt.geom, poly.geom) AND pnt.fare > 10 "
+      "AND poly.zone = 'MN1'");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ((*q)->left_filters.size(), 1u);
+  EXPECT_EQ((*q)->right_filters.size(), 1u);
+  EXPECT_TRUE((*q)->post_join_filters.empty());
+}
+
+TEST_F(AnalyzerTest, SpatialJoinRequiresPredicate) {
+  auto q = Analyze("SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(AnalyzerTest, SpatialArgsMustBeOrientedLeftRight) {
+  auto q = Analyze(
+      "SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly "
+      "WHERE ST_WITHIN(poly.geom, pnt.geom)");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(AnalyzerTest, UnknownColumnAndTable) {
+  EXPECT_FALSE(Analyze("SELECT nope FROM pnt").ok());
+  EXPECT_FALSE(Analyze("SELECT id FROM missing").ok());
+  EXPECT_FALSE(Analyze("SELECT bogus.id FROM pnt").ok());
+}
+
+TEST_F(AnalyzerTest, AmbiguousColumnRejected) {
+  EXPECT_FALSE(Analyze("SELECT id FROM pnt SPATIAL JOIN poly "
+                       "WHERE ST_WITHIN(pnt.geom, poly.geom)")
+                   .ok());
+}
+
+TEST_F(AnalyzerTest, SelectStarExpandsBothSides) {
+  auto q = Analyze("SELECT * FROM pnt SPATIAL JOIN poly "
+                   "WHERE ST_WITHIN(pnt.geom, poly.geom)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ((*q)->projections.size(), 6u);
+}
+
+TEST_F(AnalyzerTest, AggregationAnalysis) {
+  auto q = Analyze(
+      "SELECT poly.zone, COUNT(*) AS cnt FROM pnt SPATIAL JOIN poly "
+      "WHERE ST_WITHIN(pnt.geom, poly.geom) GROUP BY poly.zone");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE((*q)->has_aggregation);
+  EXPECT_EQ((*q)->group_by.size(), 1u);
+  ASSERT_EQ((*q)->aggregates.size(), 1u);
+  EXPECT_EQ((*q)->aggregates[0].kind, AggregateSpec::Kind::kCount);
+  EXPECT_EQ((*q)->aggregates[0].output_name, "cnt");
+}
+
+TEST_F(AnalyzerTest, NonAggregateItemMustBeGrouped) {
+  EXPECT_FALSE(
+      Analyze("SELECT fare, COUNT(*) FROM pnt GROUP BY id").ok());
+}
+
+TEST(PlanTest, SpatialJoinPlanShape) {
+  RegisterSpatialUdfs();
+  Catalog catalog;
+  TableDef pnt;
+  pnt.name = "pnt";
+  pnt.dfs_path = "/pnt";
+  pnt.columns = {{"id", ColumnType::kInt64}, {"geom", ColumnType::kString}};
+  TableDef poly = pnt;
+  poly.name = "poly";
+  CLOUDJOIN_CHECK_OK(catalog.RegisterTable(pnt));
+  CLOUDJOIN_CHECK_OK(catalog.RegisterTable(poly));
+
+  auto stmt = ParseSelect(
+      "SELECT pnt.id, poly.id FROM pnt SPATIAL JOIN poly "
+      "WHERE ST_WITHIN(pnt.geom, poly.geom)");
+  ASSERT_TRUE(stmt.ok());
+  Analyzer analyzer(&catalog);
+  auto query = analyzer.Analyze(**stmt);
+  ASSERT_TRUE(query.ok()) << query.status();
+  auto plan = BuildPlan(**query);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->num_fragments, 3);
+  ASSERT_NE(plan->root, nullptr);
+  EXPECT_EQ(plan->root->kind, PlanNode::Kind::kSpatialJoin);
+  ASSERT_EQ(plan->root->children.size(), 2u);
+  EXPECT_EQ(plan->root->children[0]->kind, PlanNode::Kind::kHdfsScan);
+  EXPECT_EQ(plan->root->children[1]->kind, PlanNode::Kind::kExchange);
+  std::string explain = plan->Explain();
+  EXPECT_NE(explain.find("SPATIAL JOIN"), std::string::npos);
+  EXPECT_NE(explain.find("BROADCAST"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudjoin::impala

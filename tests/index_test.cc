@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "index/grid_index.h"
+#include "index/quadtree.h"
+#include "index/rtree.h"
+#include "index/spatial_partitioner.h"
+#include "index/str_tree.h"
+
+namespace cloudjoin::index {
+namespace {
+
+using geom::Envelope;
+using geom::Point;
+
+std::vector<StrTree::Entry> RandomEntries(Rng* rng, int n, double extent) {
+  std::vector<StrTree::Entry> entries;
+  entries.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    double x = rng->Uniform(0, extent);
+    double y = rng->Uniform(0, extent);
+    double w = rng->Uniform(0, extent / 50);
+    double h = rng->Uniform(0, extent / 50);
+    entries.push_back(StrTree::Entry{Envelope(x, y, x + w, y + h), i});
+  }
+  return entries;
+}
+
+std::set<int64_t> BruteQuery(const std::vector<StrTree::Entry>& entries,
+                             const Envelope& query) {
+  std::set<int64_t> out;
+  for (const auto& e : entries) {
+    if (e.envelope.Intersects(query)) out.insert(e.id);
+  }
+  return out;
+}
+
+TEST(StrTreeTest, EmptyTree) {
+  StrTree tree({});
+  std::vector<int64_t> hits;
+  tree.Query(Envelope(0, 0, 100, 100), &hits);
+  EXPECT_TRUE(hits.empty());
+  EXPECT_EQ(tree.NearestEnvelope(Point{0, 0}), -1);
+  EXPECT_EQ(tree.num_entries(), 0);
+}
+
+TEST(StrTreeTest, SingleEntry) {
+  StrTree tree({StrTree::Entry{Envelope(1, 1, 2, 2), 42}});
+  std::vector<int64_t> hits;
+  tree.Query(Envelope(0, 0, 3, 3), &hits);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 42);
+  hits.clear();
+  tree.Query(Envelope(5, 5, 6, 6), &hits);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(StrTreeTest, HeightGrowsLogarithmically) {
+  Rng rng(1);
+  StrTree small(RandomEntries(&rng, 9, 100.0));
+  EXPECT_EQ(small.height(), 1);
+  StrTree big(RandomEntries(&rng, 5000, 100.0));
+  EXPECT_GE(big.height(), 3);
+  EXPECT_LE(big.height(), 6);
+}
+
+TEST(StrTreeTest, MemoryBytesPositive) {
+  Rng rng(2);
+  StrTree tree(RandomEntries(&rng, 100, 100.0));
+  EXPECT_GT(tree.MemoryBytes(), 100 * static_cast<int64_t>(sizeof(StrTree::Entry)));
+}
+
+class StrTreeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrTreeProperty, QueryMatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 17);
+  const int n = 50 + static_cast<int>(rng.UniformInt(2000));
+  auto entries = RandomEntries(&rng, n, 1000.0);
+  StrTree tree(entries);
+  EXPECT_EQ(tree.num_entries(), n);
+  for (int trial = 0; trial < 50; ++trial) {
+    double x = rng.Uniform(0, 1000);
+    double y = rng.Uniform(0, 1000);
+    double w = rng.Uniform(0, 200);
+    Envelope query(x, y, x + w, y + w);
+    std::vector<int64_t> hits;
+    tree.Query(query, &hits);
+    std::set<int64_t> got(hits.begin(), hits.end());
+    EXPECT_EQ(got.size(), hits.size()) << "duplicate results";
+    EXPECT_EQ(got, BruteQuery(entries, query));
+  }
+}
+
+TEST_P(StrTreeProperty, WithinDistanceMatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 29);
+  auto entries = RandomEntries(&rng, 500, 1000.0);
+  StrTree tree(entries);
+  for (int trial = 0; trial < 30; ++trial) {
+    Point p{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    double d = rng.Uniform(0, 100);
+    std::vector<int64_t> hits;
+    tree.QueryWithinDistance(p, d, &hits);
+    // The filter is an envelope (box) filter: it must be a superset of the
+    // exact-distance matches and a subset of box matches.
+    Envelope box(p.x - d, p.y - d, p.x + d, p.y + d);
+    std::set<int64_t> got(hits.begin(), hits.end());
+    EXPECT_EQ(got, BruteQuery(entries, box));
+    for (const auto& e : entries) {
+      if (e.envelope.Distance(p) <= d) {
+        EXPECT_TRUE(got.count(e.id)) << "missed exact match " << e.id;
+      }
+    }
+  }
+}
+
+TEST_P(StrTreeProperty, NearestMatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 41);
+  auto entries = RandomEntries(&rng, 300, 1000.0);
+  StrTree tree(entries);
+  for (int trial = 0; trial < 30; ++trial) {
+    Point p{rng.Uniform(-100, 1100), rng.Uniform(-100, 1100)};
+    int64_t got = tree.NearestEnvelope(p);
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& e : entries) {
+      best = std::min(best, e.envelope.Distance(p));
+    }
+    ASSERT_GE(got, 0);
+    // Any entry at the minimal distance is acceptable.
+    double got_dist = entries[static_cast<size_t>(got)].envelope.Distance(p);
+    EXPECT_DOUBLE_EQ(got_dist, best);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrTreeProperty, ::testing::Range(1, 9));
+
+class RTreeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RTreeProperty, QueryMatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 53);
+  const int n = 20 + static_cast<int>(rng.UniformInt(800));
+  auto entries = RandomEntries(&rng, n, 500.0);
+  RTree tree;
+  for (const auto& e : entries) tree.Insert(e.envelope, e.id);
+  EXPECT_EQ(tree.size(), n);
+  for (int trial = 0; trial < 40; ++trial) {
+    double x = rng.Uniform(0, 500);
+    double y = rng.Uniform(0, 500);
+    double w = rng.Uniform(0, 120);
+    Envelope query(x, y, x + w, y + w);
+    std::vector<int64_t> hits;
+    tree.Query(query, &hits);
+    std::set<int64_t> got(hits.begin(), hits.end());
+    EXPECT_EQ(got.size(), hits.size());
+    EXPECT_EQ(got, BruteQuery(entries, query));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RTreeProperty, ::testing::Range(1, 7));
+
+TEST(RTreeTest, HeightGrowsWithSize) {
+  Rng rng(5);
+  RTree tree;
+  EXPECT_EQ(tree.height(), 1);
+  auto entries = RandomEntries(&rng, 1000, 100.0);
+  for (const auto& e : entries) tree.Insert(e.envelope, e.id);
+  EXPECT_GE(tree.height(), 3);
+}
+
+class GridProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridProperty, QueryMatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 61);
+  Envelope extent(0, 0, 1000, 1000);
+  UniformGrid grid(extent, 16, 16);
+  auto entries = RandomEntries(&rng, 600, 1000.0);
+  for (const auto& e : entries) grid.Insert(e.envelope, e.id);
+  EXPECT_EQ(grid.size(), 600);
+  for (int trial = 0; trial < 40; ++trial) {
+    double x = rng.Uniform(0, 1000);
+    double y = rng.Uniform(0, 1000);
+    double w = rng.Uniform(0, 150);
+    Envelope query(x, y, x + w, y + w);
+    std::vector<int64_t> hits;
+    grid.Query(query, &hits);
+    std::set<int64_t> got(hits.begin(), hits.end());
+    EXPECT_EQ(got.size(), hits.size()) << "grid must deduplicate";
+    EXPECT_EQ(got, BruteQuery(entries, query));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridProperty, ::testing::Range(1, 7));
+
+TEST(GridTest, CellOfClamps) {
+  UniformGrid grid(Envelope(0, 0, 10, 10), 5, 5);
+  EXPECT_EQ(grid.CellOf(-100, -100), (std::pair<int, int>{0, 0}));
+  EXPECT_EQ(grid.CellOf(100, 100), (std::pair<int, int>{4, 4}));
+}
+
+TEST(PartitionerTest, TilesCoverExtentWithoutOverlap) {
+  Rng rng(7);
+  Envelope extent(0, 0, 100, 100);
+  std::vector<Point> sample;
+  for (int i = 0; i < 1000; ++i) {
+    sample.push_back(Point{rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  SpatialPartitioner part(extent, sample, 16);
+  EXPECT_EQ(part.tiles().size(), 16u);
+  // Total area preserved (tiles form a binary space partition).
+  double area = 0;
+  for (const auto& t : part.tiles()) area += t.Area();
+  EXPECT_NEAR(area, extent.Area(), 1e-6);
+  // Every interior point lands in at least one tile, and pairwise tile
+  // interiors do not overlap (checked via area + membership).
+  for (int trial = 0; trial < 500; ++trial) {
+    Point p{rng.Uniform(0.001, 99.999), rng.Uniform(0.001, 99.999)};
+    EXPECT_GE(part.TileOf(p), 0);
+  }
+}
+
+TEST(PartitionerTest, BalancesSkewedSample) {
+  Rng rng(11);
+  Envelope extent(0, 0, 100, 100);
+  // 90% of points in a small corner.
+  std::vector<Point> sample;
+  for (int i = 0; i < 2000; ++i) {
+    if (i % 10 != 0) {
+      sample.push_back(Point{rng.Uniform(0, 10), rng.Uniform(0, 10)});
+    } else {
+      sample.push_back(Point{rng.Uniform(0, 100), rng.Uniform(0, 100)});
+    }
+  }
+  SpatialPartitioner part(extent, sample, 8);
+  // The hot corner must be split: count tiles intersecting it.
+  int corner_tiles = 0;
+  for (const auto& t : part.tiles()) {
+    if (t.Intersects(Envelope(0, 0, 10, 10))) ++corner_tiles;
+  }
+  EXPECT_GE(corner_tiles, 3);
+}
+
+TEST(PartitionerTest, TilesForReplication) {
+  Envelope extent(0, 0, 100, 100);
+  std::vector<Point> sample = {{25, 50}, {75, 50}};
+  SpatialPartitioner part(extent, sample, 2);
+  // An envelope spanning the whole extent hits all tiles.
+  EXPECT_EQ(part.TilesFor(Envelope(0, 0, 100, 100)).size(),
+            part.tiles().size());
+}
+
+}  // namespace
+}  // namespace cloudjoin::index
+
+namespace cloudjoin::index {
+namespace {
+
+class QuadtreeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuadtreeProperty, QueryMatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 71);
+  geom::Envelope extent(0, 0, 1000, 1000);
+  Quadtree tree(extent, /*max_depth=*/10, /*node_capacity=*/6);
+  const int n = 100 + static_cast<int>(rng.UniformInt(1000));
+  auto entries = RandomEntries(&rng, n, 1000.0);
+  for (const auto& e : entries) tree.Insert(e.envelope, e.id);
+  EXPECT_EQ(tree.size(), n);
+  EXPECT_GT(tree.NumNodes(), 1);
+  for (int trial = 0; trial < 40; ++trial) {
+    double x = rng.Uniform(0, 1000);
+    double y = rng.Uniform(0, 1000);
+    double w = rng.Uniform(0, 150);
+    geom::Envelope query(x, y, x + w, y + w);
+    std::vector<int64_t> hits;
+    tree.Query(query, &hits);
+    std::set<int64_t> got(hits.begin(), hits.end());
+    EXPECT_EQ(got.size(), hits.size()) << "duplicate results";
+    EXPECT_EQ(got, BruteQuery(entries, query));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QuadSeeds, QuadtreeProperty, ::testing::Range(1, 7));
+
+TEST(QuadtreeTest, RecordsOutsideExtentStayQueryable) {
+  Quadtree tree(geom::Envelope(0, 0, 10, 10));
+  tree.Insert(geom::Envelope(20, 20, 21, 21), 7);
+  std::vector<int64_t> hits;
+  tree.Query(geom::Envelope(19, 19, 22, 22), &hits);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 7);
+}
+
+TEST(QuadtreeTest, SplitsUnderLoad) {
+  Rng rng(9);
+  Quadtree tree(geom::Envelope(0, 0, 100, 100), 8, 4);
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.Uniform(0, 99);
+    double y = rng.Uniform(0, 99);
+    tree.Insert(geom::Envelope(x, y, x + 0.5, y + 0.5), i);
+  }
+  EXPECT_GT(tree.NumNodes(), 20);
+}
+
+}  // namespace
+}  // namespace cloudjoin::index

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "join/broadcast_spatial_join.h"
+#include "join/partitioned_spatial_join.h"
+
+namespace cloudjoin::join {
+namespace {
+
+std::vector<IdGeometry> RandomPoints(Rng* rng, int n, double extent) {
+  std::vector<IdGeometry> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(IdGeometry{
+        i, geom::Geometry::MakePoint(rng->Uniform(0, extent),
+                                     rng->Uniform(0, extent))});
+  }
+  return out;
+}
+
+std::vector<IdGeometry> RandomPolygons(Rng* rng, int n, double extent) {
+  std::vector<IdGeometry> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    double cx = rng->Uniform(0, extent);
+    double cy = rng->Uniform(0, extent);
+    int v = 3 + static_cast<int>(rng->UniformInt(9));
+    std::vector<geom::Point> ring;
+    for (int k = 0; k < v; ++k) {
+      double theta = 6.283185307179586 * k / v;
+      double r = rng->Uniform(extent / 60, extent / 12);
+      ring.push_back(geom::Point{cx + r * std::cos(theta),
+                                 cy + r * std::sin(theta)});
+    }
+    out.push_back(IdGeometry{i, geom::Geometry::MakePolygon({ring})});
+  }
+  return out;
+}
+
+std::vector<IdGeometry> RandomPolylines(Rng* rng, int n, double extent) {
+  std::vector<IdGeometry> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    std::vector<geom::Point> path;
+    double x = rng->Uniform(0, extent);
+    double y = rng->Uniform(0, extent);
+    int v = 2 + static_cast<int>(rng->UniformInt(4));
+    for (int k = 0; k < v; ++k) {
+      path.push_back(geom::Point{x, y});
+      x += rng->Uniform(-extent / 20, extent / 20);
+      y += rng->Uniform(-extent / 20, extent / 20);
+    }
+    out.push_back(IdGeometry{i, geom::Geometry::MakeLineString(path)});
+  }
+  return out;
+}
+
+std::vector<IdPair> Sorted(std::vector<IdPair> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+TEST(BroadcastIndexTest, EmptySides) {
+  EXPECT_TRUE(BroadcastSpatialJoin({}, {}, SpatialPredicate::Within()).empty());
+  Rng rng(1);
+  auto points = RandomPoints(&rng, 10, 100);
+  EXPECT_TRUE(
+      BroadcastSpatialJoin(points, {}, SpatialPredicate::Within()).empty());
+  auto polys = RandomPolygons(&rng, 5, 100);
+  EXPECT_TRUE(
+      BroadcastSpatialJoin({}, polys, SpatialPredicate::Within()).empty());
+}
+
+TEST(BroadcastIndexTest, SimpleWithin) {
+  std::vector<IdGeometry> points = {
+      {10, geom::Geometry::MakePoint(5, 5)},
+      {11, geom::Geometry::MakePoint(50, 50)},
+  };
+  std::vector<IdGeometry> polys = {
+      {20, geom::Geometry::MakePolygon({{{0, 0}, {10, 0}, {10, 10}, {0, 10}}})},
+  };
+  auto pairs = BroadcastSpatialJoin(points, polys,
+                                    SpatialPredicate::Within());
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (IdPair{10, 20}));
+}
+
+TEST(BroadcastIndexTest, CountersAccumulate) {
+  Rng rng(3);
+  auto points = RandomPoints(&rng, 100, 100);
+  auto polys = RandomPolygons(&rng, 20, 100);
+  Counters counters;
+  BroadcastSpatialJoin(points, polys, SpatialPredicate::Within(), &counters);
+  EXPECT_GE(counters.Get("join.candidates"), counters.Get("join.matches"));
+}
+
+TEST(BroadcastIndexTest, MemoryBytesScalesWithInput) {
+  Rng rng(4);
+  BroadcastIndex small(RandomPolygons(&rng, 10, 100), 0);
+  BroadcastIndex large(RandomPolygons(&rng, 1000, 100), 0);
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
+}
+
+class JoinOracleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(JoinOracleProperty, WithinMatchesNestedLoop) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 733);
+  auto points = RandomPoints(&rng, 200, 1000);
+  auto polys = RandomPolygons(&rng, 40, 1000);
+  auto indexed = Sorted(
+      BroadcastSpatialJoin(points, polys, SpatialPredicate::Within()));
+  auto oracle =
+      Sorted(NestedLoopSpatialJoin(points, polys, SpatialPredicate::Within()));
+  EXPECT_EQ(indexed, oracle);
+  EXPECT_FALSE(oracle.empty()) << "degenerate test: no matches at all";
+}
+
+TEST_P(JoinOracleProperty, NearestDMatchesNestedLoop) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1409);
+  auto points = RandomPoints(&rng, 150, 1000);
+  auto lines = RandomPolylines(&rng, 60, 1000);
+  SpatialPredicate predicate = SpatialPredicate::NearestD(30.0);
+  auto indexed = Sorted(BroadcastSpatialJoin(points, lines, predicate));
+  auto oracle = Sorted(NestedLoopSpatialJoin(points, lines, predicate));
+  EXPECT_EQ(indexed, oracle);
+}
+
+TEST_P(JoinOracleProperty, IntersectsMatchesNestedLoop) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2801);
+  auto polys_a = RandomPolygons(&rng, 50, 500);
+  auto polys_b = RandomPolygons(&rng, 50, 500);
+  SpatialPredicate predicate = SpatialPredicate::Intersects();
+  auto indexed = Sorted(BroadcastSpatialJoin(polys_a, polys_b, predicate));
+  auto oracle = Sorted(NestedLoopSpatialJoin(polys_a, polys_b, predicate));
+  EXPECT_EQ(indexed, oracle);
+}
+
+TEST_P(JoinOracleProperty, PartitionedMatchesBroadcast) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 3571);
+  auto points = RandomPoints(&rng, 300, 1000);
+  auto polys = RandomPolygons(&rng, 50, 1000);
+  for (int tiles : {1, 4, 16}) {
+    auto partitioned = Sorted(PartitionedSpatialJoin(
+        points, polys, SpatialPredicate::Within(), tiles));
+    auto broadcast = Sorted(
+        BroadcastSpatialJoin(points, polys, SpatialPredicate::Within()));
+    EXPECT_EQ(partitioned, broadcast) << "tiles=" << tiles;
+  }
+}
+
+TEST_P(JoinOracleProperty, PartitionedNearestDMatchesBroadcast) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 6007);
+  auto points = RandomPoints(&rng, 200, 1000);
+  auto lines = RandomPolylines(&rng, 50, 1000);
+  SpatialPredicate predicate = SpatialPredicate::NearestD(40.0);
+  auto partitioned =
+      Sorted(PartitionedSpatialJoin(points, lines, predicate, 8));
+  auto broadcast = Sorted(BroadcastSpatialJoin(points, lines, predicate));
+  EXPECT_EQ(partitioned, broadcast);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinOracleProperty, ::testing::Range(1, 9));
+
+TEST(SpatialPredicateTest, ToStringAndRadius) {
+  EXPECT_STREQ(SpatialOperatorToString(SpatialOperator::kWithin), "Within");
+  SpatialPredicate nearest = SpatialPredicate::NearestD(500);
+  EXPECT_EQ(nearest.FilterRadius(), 500.0);
+  EXPECT_EQ(SpatialPredicate::Within().FilterRadius(), 0.0);
+  EXPECT_NE(nearest.ToString().find("500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudjoin::join

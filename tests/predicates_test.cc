@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/predicates.h"
+
+namespace cloudjoin::geom {
+namespace {
+
+Geometry UnitSquare() {
+  return Geometry::MakePolygon({{{0, 0}, {10, 0}, {10, 10}, {0, 10}}});
+}
+
+Geometry SquareWithHole() {
+  return Geometry::MakePolygon(
+      {{{0, 0}, {10, 0}, {10, 10}, {0, 10}}, {{3, 3}, {7, 3}, {7, 7}, {3, 7}}});
+}
+
+TEST(PointInRingTest, InsideOutsideBoundary) {
+  std::vector<Point> ring = {{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  EXPECT_EQ(LocatePointInRing(Point{5, 5}, ring), RingLocation::kInside);
+  EXPECT_EQ(LocatePointInRing(Point{15, 5}, ring), RingLocation::kOutside);
+  EXPECT_EQ(LocatePointInRing(Point{10, 5}, ring), RingLocation::kBoundary);
+  EXPECT_EQ(LocatePointInRing(Point{0, 0}, ring), RingLocation::kBoundary);
+  EXPECT_EQ(LocatePointInRing(Point{5, 0}, ring), RingLocation::kBoundary);
+}
+
+TEST(PointInRingTest, ClosedAndUnclosedRingsAgree) {
+  std::vector<Point> open = {{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  std::vector<Point> closed = {{0, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 0}};
+  for (double x : {-1.0, 1.0, 2.0, 3.9, 4.0, 5.0}) {
+    Point q{x, 2.0};
+    EXPECT_EQ(LocatePointInRing(q, open), LocatePointInRing(q, closed)) << x;
+  }
+}
+
+TEST(PointInRingTest, ConcavePolygon) {
+  // A "U" shape.
+  std::vector<Point> ring = {{0, 0}, {9, 0}, {9, 9}, {6, 9},
+                             {6, 3}, {3, 3}, {3, 9}, {0, 9}};
+  EXPECT_EQ(LocatePointInRing(Point{1.5, 5}, ring), RingLocation::kInside);
+  EXPECT_EQ(LocatePointInRing(Point{4.5, 5}, ring), RingLocation::kOutside);
+  EXPECT_EQ(LocatePointInRing(Point{7.5, 5}, ring), RingLocation::kInside);
+  EXPECT_EQ(LocatePointInRing(Point{4.5, 1.5}, ring), RingLocation::kInside);
+}
+
+TEST(PointInPolygonTest, RespectsHoles) {
+  Geometry poly = SquareWithHole();
+  EXPECT_TRUE(PointInPolygon(Point{1, 1}, poly));
+  EXPECT_FALSE(PointInPolygon(Point{5, 5}, poly));   // in the hole
+  EXPECT_TRUE(PointInPolygon(Point{3, 5}, poly));    // on hole boundary
+  EXPECT_FALSE(PointInPolygon(Point{11, 5}, poly));
+}
+
+TEST(PointInPolygonTest, MultiPolygon) {
+  Geometry mp = Geometry::MakeMultiPolygon(
+      {{{{0, 0}, {2, 0}, {2, 2}, {0, 2}}}, {{{5, 5}, {7, 5}, {7, 7}, {5, 7}}}});
+  EXPECT_TRUE(PointInPolygon(Point{1, 1}, mp));
+  EXPECT_TRUE(PointInPolygon(Point{6, 6}, mp));
+  EXPECT_FALSE(PointInPolygon(Point{3.5, 3.5}, mp));
+}
+
+TEST(SegmentDistanceTest, Basics) {
+  Point a{0, 0}, b{10, 0};
+  EXPECT_DOUBLE_EQ(DistancePointSegment(Point{5, 3}, a, b), 3.0);
+  EXPECT_DOUBLE_EQ(DistancePointSegment(Point{-3, 4}, a, b), 5.0);  // clamp a
+  EXPECT_DOUBLE_EQ(DistancePointSegment(Point{13, 4}, a, b), 5.0);  // clamp b
+  EXPECT_DOUBLE_EQ(DistancePointSegment(Point{5, 0}, a, b), 0.0);
+}
+
+TEST(SegmentDistanceTest, DegenerateSegment) {
+  Point a{2, 2};
+  EXPECT_DOUBLE_EQ(DistancePointSegment(Point{5, 6}, a, a), 5.0);
+}
+
+TEST(DistanceLineStringTest, MinOverSegments) {
+  Geometry line = Geometry::MakeLineString({{0, 0}, {10, 0}, {10, 10}});
+  EXPECT_DOUBLE_EQ(DistancePointLineString(Point{5, 2}, line), 2.0);
+  EXPECT_DOUBLE_EQ(DistancePointLineString(Point{12, 5}, line), 2.0);
+  EXPECT_DOUBLE_EQ(DistancePointLineString(Point{10, 10}, line), 0.0);
+}
+
+TEST(DistancePolygonTest, ZeroInsidePositiveOutside) {
+  Geometry poly = UnitSquare();
+  EXPECT_EQ(DistancePointPolygon(Point{5, 5}, poly), 0.0);
+  EXPECT_DOUBLE_EQ(DistancePointPolygon(Point{13, 14}, poly), 5.0);
+}
+
+TEST(SegmentsIntersectTest, Cases) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {10, 10}, {0, 10}, {10, 0}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 1}, {2, 2}, {3, 3}));
+  // Collinear overlapping.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {5, 0}, {3, 0}, {8, 0}));
+  // Touching at an endpoint.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {5, 0}, {5, 0}, {5, 5}));
+  // Parallel, disjoint.
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {5, 0}, {0, 1}, {5, 1}));
+}
+
+TEST(WithinTest, PointInPolygon) {
+  Geometry poly = UnitSquare();
+  EXPECT_TRUE(Within(Geometry::MakePoint(5, 5), poly));
+  EXPECT_FALSE(Within(Geometry::MakePoint(15, 5), poly));
+  // Boundary counts as within in this kernel (documented choice).
+  EXPECT_TRUE(Within(Geometry::MakePoint(10, 5), poly));
+}
+
+TEST(WithinTest, PolygonNotWithinPoint) {
+  EXPECT_FALSE(Within(UnitSquare(), Geometry::MakePoint(5, 5)));
+}
+
+TEST(WithinTest, LineStringInPolygon) {
+  Geometry poly = UnitSquare();
+  EXPECT_TRUE(Within(Geometry::MakeLineString({{1, 1}, {9, 9}}), poly));
+  EXPECT_FALSE(Within(Geometry::MakeLineString({{1, 1}, {15, 15}}), poly));
+  // Line crossing the hole is not within.
+  EXPECT_FALSE(Within(Geometry::MakeLineString({{1, 5}, {9, 5}}),
+                      SquareWithHole()));
+}
+
+TEST(WithinTest, EnvelopePrefilterCorrect) {
+  // A point whose envelope is inside the polygon's envelope but outside
+  // the polygon itself.
+  Geometry tri = Geometry::MakePolygon({{{0, 0}, {10, 0}, {0, 10}}});
+  EXPECT_FALSE(Within(Geometry::MakePoint(9, 9), tri));
+  EXPECT_TRUE(Within(Geometry::MakePoint(2, 2), tri));
+}
+
+TEST(DistanceTest, PointToPoint) {
+  EXPECT_DOUBLE_EQ(
+      Distance(Geometry::MakePoint(0, 0), Geometry::MakePoint(3, 4)), 5.0);
+}
+
+TEST(DistanceTest, SymmetricAcrossTypes) {
+  Geometry p = Geometry::MakePoint(15, 5);
+  Geometry poly = UnitSquare();
+  Geometry line = Geometry::MakeLineString({{0, 20}, {10, 20}});
+  EXPECT_DOUBLE_EQ(Distance(p, poly), Distance(poly, p));
+  EXPECT_DOUBLE_EQ(Distance(p, line), Distance(line, p));
+  EXPECT_DOUBLE_EQ(Distance(p, poly), 5.0);
+}
+
+TEST(DistanceTest, LineToPolygon) {
+  Geometry poly = UnitSquare();
+  Geometry far_line = Geometry::MakeLineString({{20, 0}, {20, 10}});
+  EXPECT_DOUBLE_EQ(Distance(far_line, poly), 10.0);
+  Geometry inside_line = Geometry::MakeLineString({{4, 4}, {6, 6}});
+  EXPECT_DOUBLE_EQ(Distance(inside_line, poly), 0.0);
+}
+
+TEST(WithinDistanceTest, ThresholdBehaviour) {
+  Geometry p = Geometry::MakePoint(15, 5);
+  Geometry poly = UnitSquare();
+  EXPECT_TRUE(WithinDistance(p, poly, 5.0));
+  EXPECT_TRUE(WithinDistance(p, poly, 5.5));
+  EXPECT_FALSE(WithinDistance(p, poly, 4.9));
+}
+
+TEST(IntersectsTest, PointCases) {
+  Geometry poly = UnitSquare();
+  EXPECT_TRUE(Intersects(Geometry::MakePoint(5, 5), poly));
+  EXPECT_FALSE(Intersects(Geometry::MakePoint(15, 5), poly));
+  Geometry line = Geometry::MakeLineString({{0, 0}, {10, 0}});
+  EXPECT_TRUE(Intersects(Geometry::MakePoint(5, 0), line));
+  EXPECT_FALSE(Intersects(Geometry::MakePoint(5, 1), line));
+}
+
+TEST(IntersectsTest, PolygonPolygon) {
+  Geometry a = UnitSquare();
+  Geometry b = Geometry::MakePolygon({{{5, 5}, {15, 5}, {15, 15}, {5, 15}}});
+  Geometry c = Geometry::MakePolygon({{{20, 20}, {30, 20}, {30, 30}, {20, 30}}});
+  Geometry inner = Geometry::MakePolygon({{{2, 2}, {3, 2}, {3, 3}, {2, 3}}});
+  EXPECT_TRUE(Intersects(a, b));
+  EXPECT_FALSE(Intersects(a, c));
+  EXPECT_TRUE(Intersects(a, inner));  // containment
+  EXPECT_TRUE(Intersects(inner, a));
+}
+
+// Property: PointInPolygon agrees with a distance-to-boundary oracle on a
+// random star polygon (points strictly inside have crossing parity 1).
+class PipProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipProperty, AgreesWithRadialOracle) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 977);
+  // Star-shaped polygon around the origin: a point at radius r and angle
+  // theta is inside iff r < r(theta).
+  const int n = 3 + static_cast<int>(rng.UniformInt(30));
+  std::vector<double> radii(n);
+  std::vector<Point> ring(n);
+  for (int i = 0; i < n; ++i) {
+    radii[i] = rng.Uniform(5.0, 20.0);
+    double theta = 6.283185307179586 * i / n;
+    ring[i] = Point{radii[i] * std::cos(theta), radii[i] * std::sin(theta)};
+  }
+  Geometry poly = Geometry::MakePolygon({ring});
+  for (int trial = 0; trial < 200; ++trial) {
+    // Sample along a random spoke direction, at radii clearly inside or
+    // clearly outside the local boundary (avoid near-boundary ambiguity).
+    int i = static_cast<int>(rng.UniformInt(n));
+    double theta = 6.283185307179586 * i / n;
+    double inner_r = radii[i] * 0.2;
+    double outer_r = 25.0;
+    Point inside{inner_r * std::cos(theta), inner_r * std::sin(theta)};
+    Point outside{outer_r * std::cos(theta), outer_r * std::sin(theta)};
+    EXPECT_TRUE(PointInPolygon(inside, poly));
+    EXPECT_FALSE(PointInPolygon(outside, poly));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipProperty, ::testing::Range(1, 11));
+
+// Property: WithinDistance(point, line, d) agrees with exact distance.
+class DistanceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistanceProperty, WithinDistanceMatchesDistance) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31337);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Point> path;
+    int n = 2 + static_cast<int>(rng.UniformInt(6));
+    for (int i = 0; i < n; ++i) {
+      path.push_back(Point{rng.Uniform(-50, 50), rng.Uniform(-50, 50)});
+    }
+    Geometry line = Geometry::MakeLineString(std::move(path));
+    Geometry p = Geometry::MakePoint(rng.Uniform(-60, 60),
+                                     rng.Uniform(-60, 60));
+    double d = Distance(p, line);
+    EXPECT_TRUE(WithinDistance(p, line, d + 1e-9));
+    if (d > 1e-9) {
+      EXPECT_FALSE(WithinDistance(p, line, d * 0.99 - 1e-9));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistanceProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace cloudjoin::geom

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/prepared.h"
+#include "geom/wkt.h"
+
+namespace cloudjoin::geom {
+namespace {
+
+Geometry StarPolygon(Rng* rng, double cx, double cy, int vertices,
+                     double max_r) {
+  std::vector<Point> ring;
+  for (int i = 0; i < vertices; ++i) {
+    double theta = 6.283185307179586 * i / vertices;
+    double r = rng->Uniform(max_r * 0.3, max_r);
+    ring.push_back(
+        Point{cx + r * std::cos(theta), cy + r * std::sin(theta)});
+  }
+  return Geometry::MakePolygon({ring});
+}
+
+TEST(PreparedPolygonTest, SimpleSquare) {
+  Geometry square =
+      Geometry::MakePolygon({{{0, 0}, {10, 0}, {10, 10}, {0, 10}}});
+  PreparedPolygon prepared(square, 8);
+  EXPECT_TRUE(prepared.Contains(Point{5, 5}));
+  EXPECT_TRUE(prepared.Contains(Point{0.01, 0.01}));
+  EXPECT_FALSE(prepared.Contains(Point{10.5, 5}));
+  EXPECT_FALSE(prepared.Contains(Point{-1, -1}));
+  // Boundary counts as contained (same semantics as PointInPolygon).
+  EXPECT_TRUE(prepared.Contains(Point{10, 5}));
+  EXPECT_TRUE(prepared.Contains(Point{0, 0}));
+}
+
+TEST(PreparedPolygonTest, RespectsHoles) {
+  Geometry donut = Geometry::MakePolygon(
+      {{{0, 0}, {10, 0}, {10, 10}, {0, 10}},
+       {{3, 3}, {7, 3}, {7, 7}, {3, 7}}});
+  PreparedPolygon prepared(donut, 16);
+  EXPECT_TRUE(prepared.Contains(Point{1, 1}));
+  EXPECT_FALSE(prepared.Contains(Point{5, 5}));  // in the hole
+  EXPECT_TRUE(prepared.Contains(Point{3, 5}));   // hole boundary
+}
+
+TEST(PreparedPolygonTest, MultiPolygon) {
+  Geometry mp = Geometry::MakeMultiPolygon(
+      {{{{0, 0}, {2, 0}, {2, 2}, {0, 2}}},
+       {{{8, 8}, {10, 8}, {10, 10}, {8, 10}}}});
+  PreparedPolygon prepared(mp, 16);
+  EXPECT_TRUE(prepared.Contains(Point{1, 1}));
+  EXPECT_TRUE(prepared.Contains(Point{9, 9}));
+  EXPECT_FALSE(prepared.Contains(Point{5, 5}));
+}
+
+TEST(PreparedPolygonTest, BoundaryFractionShrinksWithResolution) {
+  Rng rng(3);
+  Geometry poly = StarPolygon(&rng, 0, 0, 64, 100);
+  PreparedPolygon coarse(poly, 4);
+  PreparedPolygon fine(poly, 64);
+  EXPECT_LT(fine.BoundaryCellFraction(), coarse.BoundaryCellFraction());
+  EXPECT_GT(coarse.BoundaryCellFraction(), 0.0);
+}
+
+class PreparedProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreparedProperty, AgreesWithExactTestEverywhere) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 4099);
+  for (int poly_trial = 0; poly_trial < 5; ++poly_trial) {
+    int vertices = 8 + static_cast<int>(rng.UniformInt(300));
+    Geometry poly = StarPolygon(&rng, rng.Uniform(-50, 50),
+                                rng.Uniform(-50, 50), vertices, 80);
+    int grid = 4 + static_cast<int>(rng.UniformInt(60));
+    PreparedPolygon prepared(poly, grid);
+    for (int probe = 0; probe < 400; ++probe) {
+      Point p{rng.Uniform(-150, 150), rng.Uniform(-150, 150)};
+      EXPECT_EQ(prepared.Contains(p), PointInPolygon(p, poly))
+          << "at (" << p.x << ", " << p.y << "), grid " << grid;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreparedProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace cloudjoin::geom

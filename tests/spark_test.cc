@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "dfs/sim_file_system.h"
+#include "spark/rdd.h"
+#include "spark/spark_context.h"
+
+namespace cloudjoin::spark {
+namespace {
+
+class SparkTest : public ::testing::Test {
+ protected:
+  SparkTest() : fs_(4, /*block_size=*/64), ctx_(&fs_, /*parallelism=*/4) {
+    std::vector<std::string> lines;
+    for (int i = 0; i < 100; ++i) {
+      lines.push_back("row" + std::to_string(i));
+    }
+    CLOUDJOIN_CHECK_OK(fs_.WriteTextFile("/t.txt", lines));
+  }
+
+  dfs::SimFileSystem fs_;
+  SparkContext ctx_;
+};
+
+TEST_F(SparkTest, TextFileReadsAllLinesOnce) {
+  Rdd<std::string> lines = ctx_.TextFile("/t.txt", 7);
+  EXPECT_EQ(lines.num_partitions(), 7);
+  std::vector<std::string> collected = lines.Collect();
+  ASSERT_EQ(collected.size(), 100u);
+  EXPECT_EQ(collected.front(), "row0");
+  EXPECT_EQ(collected.back(), "row99");
+  std::set<std::string> distinct(collected.begin(), collected.end());
+  EXPECT_EQ(distinct.size(), 100u);
+}
+
+TEST_F(SparkTest, TextFileDefaultParallelism) {
+  EXPECT_EQ(ctx_.TextFile("/t.txt").num_partitions(), 4);
+}
+
+TEST_F(SparkTest, MapAndCount) {
+  auto lengths = ctx_.TextFile("/t.txt", 3).Map<int64_t>(
+      [](const std::string& s) { return static_cast<int64_t>(s.size()); });
+  EXPECT_EQ(lengths.Count(), 100);
+  auto values = lengths.Collect();
+  EXPECT_EQ(values[0], 4);   // "row0"
+  EXPECT_EQ(values[99], 5);  // "row99"
+}
+
+TEST_F(SparkTest, FilterDropsRecords) {
+  auto kept = ctx_.TextFile("/t.txt", 3).Filter(
+      [](const std::string& s) { return s.size() == 4; });  // row0..row9
+  EXPECT_EQ(kept.Count(), 10);
+}
+
+TEST_F(SparkTest, FlatMapExpands) {
+  auto doubled = ctx_.TextFile("/t.txt", 3).FlatMap<std::string>(
+      [](const std::string& s,
+         const std::function<void(const std::string&)>& emit) {
+        emit(s);
+        emit(s + "!");
+      });
+  EXPECT_EQ(doubled.Count(), 200);
+}
+
+TEST_F(SparkTest, ZipWithIndexIsGlobalAndOrdered) {
+  auto indexed = ctx_.TextFile("/t.txt", 5).ZipWithIndex();
+  auto rows = indexed.Collect();
+  ASSERT_EQ(rows.size(), 100u);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(rows[static_cast<size_t>(i)].second, i);
+    EXPECT_EQ(rows[static_cast<size_t>(i)].first,
+              "row" + std::to_string(i));
+  }
+}
+
+TEST_F(SparkTest, ZipWithIndexRunsACountStage) {
+  ctx_.ResetMetrics();
+  ctx_.TextFile("/t.txt", 5).ZipWithIndex();
+  ASSERT_EQ(ctx_.stages().size(), 1u);
+  EXPECT_NE(ctx_.stages()[0].name.find("zipWithIndex.count"),
+            std::string::npos);
+  EXPECT_EQ(ctx_.stages()[0].task_seconds.size(), 5u);
+}
+
+TEST_F(SparkTest, CacheAvoidsRecompute) {
+  int compute_calls = 0;
+  Rdd<int> source(&ctx_, 2, "src",
+                  [&compute_calls](int p, const Rdd<int>::EmitFn& emit) {
+                    ++compute_calls;
+                    for (int i = 0; i < 5; ++i) emit(p * 5 + i);
+                  });
+  Rdd<int> cached = source.Cache();
+  EXPECT_EQ(cached.Count(), 10);
+  EXPECT_EQ(compute_calls, 2);  // one per partition
+  EXPECT_EQ(cached.Count(), 10);
+  EXPECT_EQ(compute_calls, 2);  // served from cache
+}
+
+TEST_F(SparkTest, ForEachPartitionSeesAllPartitions) {
+  std::vector<int> sizes;
+  ctx_.TextFile("/t.txt", 4).ForEachPartition(
+      [&sizes](int, const std::vector<std::string>& records) {
+        sizes.push_back(static_cast<int>(records.size()));
+      });
+  EXPECT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0), 100);
+}
+
+TEST_F(SparkTest, StagesRecordTaskDurations) {
+  ctx_.ResetMetrics();
+  ctx_.TextFile("/t.txt", 6).Count();
+  ASSERT_EQ(ctx_.stages().size(), 1u);
+  const StageMetrics& stage = ctx_.stages()[0];
+  EXPECT_EQ(stage.task_seconds.size(), 6u);
+  for (double t : stage.task_seconds) EXPECT_GE(t, 0.0);
+  EXPECT_GE(stage.TotalSeconds(), 0.0);
+}
+
+TEST_F(SparkTest, BroadcastTracksBytes) {
+  ctx_.ResetMetrics();
+  auto value = std::make_shared<const std::vector<int>>(1000, 7);
+  Broadcast<std::vector<int>> b =
+      ctx_.BroadcastValue<std::vector<int>>(value, 4000);
+  EXPECT_EQ(b.bytes(), 4000);
+  EXPECT_EQ(ctx_.broadcast_bytes(), 4000);
+  EXPECT_EQ(b.value().size(), 1000u);
+}
+
+TEST_F(SparkTest, ChainedPipelineMatchesManualComputation) {
+  auto result = ctx_.TextFile("/t.txt", 3)
+                    .Map<int64_t>([](const std::string& s) {
+                      return static_cast<int64_t>(s.size());
+                    })
+                    .Filter([](const int64_t& n) { return n == 5; })
+                    .Map<int64_t>([](const int64_t& n) { return n * 2; })
+                    .Collect();
+  EXPECT_EQ(result.size(), 90u);  // row10..row99
+  for (int64_t v : result) EXPECT_EQ(v, 10);
+}
+
+TEST_F(SparkTest, EmptyFileYieldsEmptyRdd) {
+  CLOUDJOIN_CHECK_OK(fs_.WriteTextFile("/empty.txt", {}));
+  EXPECT_EQ(ctx_.TextFile("/empty.txt", 3).Count(), 0);
+}
+
+}  // namespace
+}  // namespace cloudjoin::spark
+
+namespace cloudjoin::spark {
+namespace {
+
+TEST_F(SparkTest, PartitionByKeyRedistributesByKey) {
+  // 100 rows keyed by length (4 or 5).
+  auto keyed = ctx_.TextFile("/t.txt", 4).Map<std::pair<int, std::string>>(
+      [](const std::string& s) {
+        return std::make_pair(static_cast<int>(s.size()), s);
+      });
+  std::function<int(const int&)> identity = [](const int& k) { return k; };
+  Rdd<std::pair<int, std::string>> parts =
+      PartitionByKey(keyed, 8, identity);
+  EXPECT_EQ(parts.num_partitions(), 8);
+  // All rows survive and each partition holds a single key.
+  int64_t total = 0;
+  parts.ForEachPartition([&](int p, const auto& records) {
+    total += static_cast<int64_t>(records.size());
+    for (const auto& [k, v] : records) {
+      EXPECT_EQ(k % 8, p);
+    }
+  });
+  EXPECT_EQ(total, 100);
+}
+
+TEST_F(SparkTest, PartitionByKeyDefaultHashCoversAllRecords) {
+  auto keyed = ctx_.TextFile("/t.txt", 3).Map<std::pair<std::string, int>>(
+      [](const std::string& s) { return std::make_pair(s, 1); });
+  auto parts = PartitionByKey(keyed, 5);
+  EXPECT_EQ(parts.Count(), 100);
+}
+
+}  // namespace
+}  // namespace cloudjoin::spark

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+#include <cstring>
+
+#include "common/rng.h"
+#include "data/convert.h"
+#include "data/generators.h"
+#include "dfs/sim_file_system.h"
+#include "geom/wkb.h"
+#include "geom/wkt.h"
+#include "join/spatial_spark_system.h"
+
+namespace cloudjoin::geom {
+namespace {
+
+Geometry MustWkt(const char* wkt) {
+  auto g = ReadWkt(wkt);
+  CLOUDJOIN_CHECK(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+TEST(WkbTest, PointRoundTripBitExact) {
+  Geometry p = Geometry::MakePoint(-73.98123456789012, 40.7487654321);
+  auto round = ReadWkb(WriteWkb(p));
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(*round == p);  // exact, no decimal loss
+}
+
+TEST(WkbTest, AllTypesRoundTrip) {
+  const char* cases[] = {
+      "POINT (1.5 -2.25)",
+      "LINESTRING (0 0, 1 1, 2 0)",
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))",
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))",
+      "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)), ((5 5, 6 5, 6 6, 5 5)))",
+      "MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))",
+      "MULTIPOINT (1 2, 3 4)",
+  };
+  for (const char* wkt : cases) {
+    Geometry g = MustWkt(wkt);
+    auto round = ReadWkb(WriteWkb(g));
+    ASSERT_TRUE(round.ok()) << wkt << ": " << round.status();
+    EXPECT_TRUE(*round == g) << wkt;
+  }
+}
+
+TEST(WkbTest, EmptyPointEncodesAsNan) {
+  Geometry empty(GeometryType::kPoint);
+  auto round = ReadWkb(WriteWkb(empty));
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(round->IsEmpty());
+  EXPECT_EQ(round->type(), GeometryType::kPoint);
+}
+
+TEST(WkbTest, KnownEncoding) {
+  // POINT (1 2), little-endian: 01 01000000 + two doubles.
+  std::string wkb = WriteWkb(Geometry::MakePoint(1, 2));
+  ASSERT_EQ(wkb.size(), 21u);
+  EXPECT_EQ(static_cast<uint8_t>(wkb[0]), 1);
+  EXPECT_EQ(static_cast<uint8_t>(wkb[1]), 1);
+  EXPECT_EQ(ToHex(wkb.substr(0, 5)), "0101000000");
+}
+
+TEST(WkbTest, BigEndianAccepted) {
+  // Hand-built big-endian POINT (1 2).
+  std::string wkb;
+  wkb.push_back('\x00');                      // big-endian
+  wkb.append({'\x00', '\x00', '\x00', '\x01'});  // type 1
+  auto put_be_double = [&wkb](double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    for (int i = 7; i >= 0; --i) {
+      wkb.push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
+    }
+  };
+  put_be_double(1.0);
+  put_be_double(2.0);
+  auto g = ReadWkb(wkb);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_TRUE(*g == Geometry::MakePoint(1, 2));
+}
+
+TEST(WkbTest, Errors) {
+  EXPECT_FALSE(ReadWkb("").ok());
+  EXPECT_FALSE(ReadWkb("\x05").ok());                   // bad order marker
+  EXPECT_FALSE(ReadWkb(std::string("\x01\x09\x00\x00\x00", 5)).ok());  // type 9
+  std::string truncated = WriteWkb(MustWkt("LINESTRING (0 0, 1 1)"));
+  truncated.resize(truncated.size() - 3);
+  EXPECT_FALSE(ReadWkb(truncated).ok());
+  // Absurd coordinate count must not allocate.
+  std::string bomb("\x01\x02\x00\x00\x00\xFF\xFF\xFF\xFF", 9);
+  EXPECT_FALSE(ReadWkb(bomb).ok());
+  std::string trailing = WriteWkb(Geometry::MakePoint(1, 2)) + "x";
+  EXPECT_FALSE(ReadWkb(trailing).ok());
+}
+
+TEST(HexTest, RoundTrip) {
+  std::string bytes("\x00\x01\xAB\xFF\x7f", 5);
+  auto back = FromHex(ToHex(bytes));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, bytes);
+  EXPECT_EQ(ToHex(bytes), "0001ABFF7F");
+}
+
+TEST(HexTest, AcceptsLowerCase) {
+  auto bytes = FromHex("abff");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(ToHex(*bytes), "ABFF");
+}
+
+TEST(HexTest, Errors) {
+  EXPECT_FALSE(FromHex("ABC").ok());   // odd length
+  EXPECT_FALSE(FromHex("ZZ").ok());    // bad digit
+}
+
+class WkbRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WkbRoundTripProperty, RandomPolygonsBitExact) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 881);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = 3 + static_cast<int>(rng.UniformInt(40));
+    std::vector<Point> ring;
+    for (int i = 0; i < n; ++i) {
+      double theta = 6.283185307179586 * i / n;
+      double r = rng.Uniform(1, 1000);
+      ring.push_back(Point{r * std::cos(theta), r * std::sin(theta)});
+    }
+    Geometry g = Geometry::MakePolygon({ring});
+    auto hex_round = ReadWkbHex(WriteWkbHex(g));
+    ASSERT_TRUE(hex_round.ok());
+    EXPECT_TRUE(*hex_round == g);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WkbRoundTripProperty, ::testing::Range(1, 7));
+
+TEST(ConvertTest, WkbTableJoinsIdenticallyToWktTable) {
+  dfs::SimFileSystem fs(2, 16 * 1024);
+  CLOUDJOIN_CHECK_OK(fs.WriteTextFile("/taxi.tsv",
+                                      data::GenerateTaxiTrips(3000, 3)));
+  CLOUDJOIN_CHECK_OK(fs.WriteTextFile(
+      "/nycb.tsv", data::GenerateCensusBlocks(15, 15, 4)));
+  join::TableInput taxi{"/taxi.tsv", '\t', 0, 1};
+  join::TableInput nycb{"/nycb.tsv", '\t', 0, 1};
+
+  auto taxi_bin =
+      data::ConvertGeometryColumnToWkbHex(&fs, taxi, "/taxi.wkb.tsv");
+  auto nycb_bin =
+      data::ConvertGeometryColumnToWkbHex(&fs, nycb, "/nycb.wkb.tsv");
+  ASSERT_TRUE(taxi_bin.ok()) << taxi_bin.status();
+  ASSERT_TRUE(nycb_bin.ok()) << nycb_bin.status();
+  EXPECT_EQ(taxi_bin->encoding, join::GeometryEncoding::kWkbHex);
+
+  join::SpatialSparkSystem spark(&fs, 4);
+  auto text_run = spark.Join(taxi, nycb, join::SpatialPredicate::Within());
+  auto bin_run =
+      spark.Join(*taxi_bin, *nycb_bin, join::SpatialPredicate::Within());
+  ASSERT_TRUE(text_run.ok());
+  ASSERT_TRUE(bin_run.ok());
+  ASSERT_FALSE(text_run->pairs.empty());
+  auto a = text_run->pairs;
+  auto b = bin_run->pairs;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ConvertTest, RejectsAlreadyBinarySource) {
+  dfs::SimFileSystem fs(2);
+  join::TableInput src{"/x", '\t', 0, 1, join::GeometryEncoding::kWkbHex};
+  EXPECT_FALSE(
+      data::ConvertGeometryColumnToWkbHex(&fs, src, "/y").ok());
+}
+
+}  // namespace
+}  // namespace cloudjoin::geom

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/wkt.h"
+
+namespace cloudjoin::geom {
+namespace {
+
+TEST(WktReadTest, Point) {
+  auto g = ReadWkt("POINT (1.5 -2.25)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->type(), GeometryType::kPoint);
+  EXPECT_DOUBLE_EQ(g->FirstPoint().x, 1.5);
+  EXPECT_DOUBLE_EQ(g->FirstPoint().y, -2.25);
+}
+
+TEST(WktReadTest, CaseInsensitiveAndWhitespace) {
+  auto g = ReadWkt("  point(3 4)  ");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->type(), GeometryType::kPoint);
+}
+
+TEST(WktReadTest, LineString) {
+  auto g = ReadWkt("LINESTRING (0 0, 1 1, 2 0)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->type(), GeometryType::kLineString);
+  EXPECT_EQ(g->NumCoords(), 3);
+}
+
+TEST(WktReadTest, PolygonWithHole) {
+  auto g = ReadWkt(
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->type(), GeometryType::kPolygon);
+  EXPECT_EQ(g->NumRings(0), 2);
+}
+
+TEST(WktReadTest, PolygonAutoCloses) {
+  auto g = ReadWkt("POLYGON ((0 0, 4 0, 4 4, 0 4))");
+  ASSERT_TRUE(g.ok());
+  auto ring = g->Ring(0, 0);
+  EXPECT_EQ(ring.front(), ring.back());
+}
+
+TEST(WktReadTest, MultiPolygon) {
+  auto g = ReadWkt(
+      "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)), ((5 5, 6 5, 6 6, 5 5)))");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->type(), GeometryType::kMultiPolygon);
+  EXPECT_EQ(g->NumParts(), 2);
+}
+
+TEST(WktReadTest, MultiPointBothSyntaxes) {
+  auto bare = ReadWkt("MULTIPOINT (1 2, 3 4)");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->NumCoords(), 2);
+  auto wrapped = ReadWkt("MULTIPOINT ((1 2), (3 4))");
+  ASSERT_TRUE(wrapped.ok());
+  EXPECT_TRUE(*bare == *wrapped);
+}
+
+TEST(WktReadTest, MultiLineString) {
+  auto g = ReadWkt("MULTILINESTRING ((0 0, 1 1), (2 2, 3 3, 4 4))");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumParts(), 2);
+  EXPECT_EQ(g->NumCoords(), 5);
+}
+
+TEST(WktReadTest, Empty) {
+  auto g = ReadWkt("POLYGON EMPTY");
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->IsEmpty());
+  EXPECT_EQ(g->type(), GeometryType::kPolygon);
+}
+
+TEST(WktReadTest, ScientificNotation) {
+  auto g = ReadWkt("POINT (1e3 -2.5e-2)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->FirstPoint().x, 1000.0);
+  EXPECT_DOUBLE_EQ(g->FirstPoint().y, -0.025);
+}
+
+TEST(WktReadTest, Errors) {
+  EXPECT_FALSE(ReadWkt("").ok());
+  EXPECT_FALSE(ReadWkt("CIRCLE (0 0, 5)").ok());
+  EXPECT_FALSE(ReadWkt("POINT 1 2").ok());
+  EXPECT_FALSE(ReadWkt("POINT (1)").ok());
+  EXPECT_FALSE(ReadWkt("POLYGON ((0 0, 1 1))").ok());     // ring too short
+  EXPECT_FALSE(ReadWkt("LINESTRING (0 0)").ok());          // too short
+  EXPECT_FALSE(ReadWkt("POINT (1 2").ok());                // unbalanced
+  EXPECT_FALSE(ReadWkt("POINT (a b)").ok());               // not numbers
+}
+
+TEST(WktWriteTest, Point) {
+  EXPECT_EQ(WriteWkt(Geometry::MakePoint(1.5, -2.0)), "POINT (1.5 -2)");
+}
+
+TEST(WktWriteTest, EmptyGeometry) {
+  EXPECT_EQ(WriteWkt(Geometry(GeometryType::kMultiPolygon)),
+            "MULTIPOLYGON EMPTY");
+}
+
+TEST(WktRoundTripTest, FixedCases) {
+  const char* cases[] = {
+      "POINT (1 2)",
+      "LINESTRING (0 0, 1 1, 2 0)",
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))",
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))",
+      "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)), ((5 5, 6 5, 6 6, 5 5)))",
+      "MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))",
+      "MULTIPOINT (1 2, 3 4)",
+  };
+  for (const char* wkt : cases) {
+    auto parsed = ReadWkt(wkt);
+    ASSERT_TRUE(parsed.ok()) << wkt;
+    auto reparsed = ReadWkt(WriteWkt(*parsed));
+    ASSERT_TRUE(reparsed.ok()) << wkt;
+    EXPECT_TRUE(*parsed == *reparsed) << wkt;
+  }
+}
+
+// Property: random geometries round-trip bit-exactly through WKT (writer
+// precision is sufficient for the coordinate magnitudes the generators
+// use).
+class WktRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+Geometry RandomGeometry(Rng* rng) {
+  int kind = static_cast<int>(rng->UniformInt(4));
+  auto coord = [rng] {
+    // Realistic coordinate magnitudes (feet / degrees).
+    return Point{rng->Uniform(-1e6, 1e6), rng->Uniform(-1e6, 1e6)};
+  };
+  switch (kind) {
+    case 0:
+      return Geometry::MakePoint(coord().x, coord().y);
+    case 1: {
+      std::vector<Point> pts;
+      int n = 2 + static_cast<int>(rng->UniformInt(8));
+      for (int i = 0; i < n; ++i) pts.push_back(coord());
+      return Geometry::MakeLineString(std::move(pts));
+    }
+    case 2: {
+      // Star polygon around a center: always a valid simple ring.
+      Point c = coord();
+      int n = 3 + static_cast<int>(rng->UniformInt(10));
+      std::vector<Point> ring;
+      for (int i = 0; i < n; ++i) {
+        double theta = 6.283185307179586 * i / n;
+        double r = rng->Uniform(10, 100);
+        ring.push_back(Point{c.x + r * std::cos(theta),
+                             c.y + r * std::sin(theta)});
+      }
+      return Geometry::MakePolygon({std::move(ring)});
+    }
+    default: {
+      std::vector<std::vector<std::vector<Point>>> polys;
+      int parts = 1 + static_cast<int>(rng->UniformInt(3));
+      for (int p = 0; p < parts; ++p) {
+        Point c = coord();
+        int n = 3 + static_cast<int>(rng->UniformInt(6));
+        std::vector<Point> ring;
+        for (int i = 0; i < n; ++i) {
+          double theta = 6.283185307179586 * i / n;
+          double r = rng->Uniform(5, 50);
+          ring.push_back(Point{c.x + r * std::cos(theta),
+                               c.y + r * std::sin(theta)});
+        }
+        polys.push_back({std::move(ring)});
+      }
+      return Geometry::MakeMultiPolygon(std::move(polys));
+    }
+  }
+}
+
+TEST_P(WktRoundTripProperty, RandomGeometryStructureSurvives) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 25; ++i) {
+    Geometry g = RandomGeometry(&rng);
+    auto round = ReadWkt(WriteWkt(g));
+    ASSERT_TRUE(round.ok());
+    EXPECT_EQ(round->type(), g.type());
+    EXPECT_EQ(round->NumParts(), g.NumParts());
+    EXPECT_EQ(round->NumCoords(), g.NumCoords());
+    // Coordinates agree to writer precision.
+    auto a = g.Coords();
+    auto b = round->Coords();
+    for (size_t k = 0; k < a.size(); ++k) {
+      EXPECT_NEAR(a[k].x, b[k].x, 1e-3);
+      EXPECT_NEAR(a[k].y, b[k].y, 1e-3);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WktRoundTripProperty,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace cloudjoin::geom
