@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/broadcast_vs_partitioned"
+  "../bench/broadcast_vs_partitioned.pdb"
+  "CMakeFiles/broadcast_vs_partitioned.dir/broadcast_vs_partitioned.cc.o"
+  "CMakeFiles/broadcast_vs_partitioned.dir/broadcast_vs_partitioned.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_vs_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_spatialspark_scalability"
+  "../bench/fig4_spatialspark_scalability.pdb"
+  "CMakeFiles/fig4_spatialspark_scalability.dir/fig4_spatialspark_scalability.cc.o"
+  "CMakeFiles/fig4_spatialspark_scalability.dir/fig4_spatialspark_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_spatialspark_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/jts_vs_geos"
+  "../bench/jts_vs_geos.pdb"
+  "CMakeFiles/jts_vs_geos.dir/jts_vs_geos.cc.o"
+  "CMakeFiles/jts_vs_geos.dir/jts_vs_geos.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jts_vs_geos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jts_vs_geos.
+# This may be replaced when dependencies are built.

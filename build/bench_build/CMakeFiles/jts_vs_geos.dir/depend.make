@@ -1,0 +1,2 @@
+# Empty dependencies file for jts_vs_geos.
+# This may be replaced when dependencies are built.

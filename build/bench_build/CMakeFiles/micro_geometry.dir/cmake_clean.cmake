@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_geometry"
+  "../bench/micro_geometry.pdb"
+  "CMakeFiles/micro_geometry.dir/micro_geometry.cc.o"
+  "CMakeFiles/micro_geometry.dir/micro_geometry.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

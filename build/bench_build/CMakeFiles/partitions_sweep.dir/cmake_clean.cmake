@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/partitions_sweep"
+  "../bench/partitions_sweep.pdb"
+  "CMakeFiles/partitions_sweep.dir/partitions_sweep.cc.o"
+  "CMakeFiles/partitions_sweep.dir/partitions_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitions_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_single_node"
+  "../bench/table1_single_node.pdb"
+  "CMakeFiles/table1_single_node.dir/table1_single_node.cc.o"
+  "CMakeFiles/table1_single_node.dir/table1_single_node.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_single_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_cluster"
+  "../bench/table2_cluster.pdb"
+  "CMakeFiles/table2_cluster.dir/table2_cluster.cc.o"
+  "CMakeFiles/table2_cluster.dir/table2_cluster.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

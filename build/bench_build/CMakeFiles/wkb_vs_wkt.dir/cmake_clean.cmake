@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/wkb_vs_wkt"
+  "../bench/wkb_vs_wkt.pdb"
+  "CMakeFiles/wkb_vs_wkt.dir/wkb_vs_wkt.cc.o"
+  "CMakeFiles/wkb_vs_wkt.dir/wkb_vs_wkt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wkb_vs_wkt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wkb_vs_wkt.
+# This may be replaced when dependencies are built.

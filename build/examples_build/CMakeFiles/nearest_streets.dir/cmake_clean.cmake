@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/nearest_streets"
+  "../examples/nearest_streets.pdb"
+  "CMakeFiles/nearest_streets.dir/nearest_streets.cpp.o"
+  "CMakeFiles/nearest_streets.dir/nearest_streets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearest_streets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

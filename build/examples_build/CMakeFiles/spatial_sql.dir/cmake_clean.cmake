@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/spatial_sql"
+  "../examples/spatial_sql.pdb"
+  "CMakeFiles/spatial_sql.dir/spatial_sql.cpp.o"
+  "CMakeFiles/spatial_sql.dir/spatial_sql.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/species_richness"
+  "../examples/species_richness.pdb"
+  "CMakeFiles/species_richness.dir/species_richness.cpp.o"
+  "CMakeFiles/species_richness.dir/species_richness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/species_richness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for species_richness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/taxi_hotspots"
+  "../examples/taxi_hotspots.pdb"
+  "CMakeFiles/taxi_hotspots.dir/taxi_hotspots.cpp.o"
+  "CMakeFiles/taxi_hotspots.dir/taxi_hotspots.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

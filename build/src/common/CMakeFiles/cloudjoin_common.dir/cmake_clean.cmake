@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudjoin_common.dir/counters.cc.o"
+  "CMakeFiles/cloudjoin_common.dir/counters.cc.o.d"
+  "CMakeFiles/cloudjoin_common.dir/flags.cc.o"
+  "CMakeFiles/cloudjoin_common.dir/flags.cc.o.d"
+  "CMakeFiles/cloudjoin_common.dir/logging.cc.o"
+  "CMakeFiles/cloudjoin_common.dir/logging.cc.o.d"
+  "CMakeFiles/cloudjoin_common.dir/status.cc.o"
+  "CMakeFiles/cloudjoin_common.dir/status.cc.o.d"
+  "CMakeFiles/cloudjoin_common.dir/strings.cc.o"
+  "CMakeFiles/cloudjoin_common.dir/strings.cc.o.d"
+  "CMakeFiles/cloudjoin_common.dir/thread_pool.cc.o"
+  "CMakeFiles/cloudjoin_common.dir/thread_pool.cc.o.d"
+  "libcloudjoin_common.a"
+  "libcloudjoin_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudjoin_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

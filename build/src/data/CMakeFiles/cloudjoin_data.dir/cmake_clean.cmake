@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudjoin_data.dir/convert.cc.o"
+  "CMakeFiles/cloudjoin_data.dir/convert.cc.o.d"
+  "CMakeFiles/cloudjoin_data.dir/generators.cc.o"
+  "CMakeFiles/cloudjoin_data.dir/generators.cc.o.d"
+  "CMakeFiles/cloudjoin_data.dir/workloads.cc.o"
+  "CMakeFiles/cloudjoin_data.dir/workloads.cc.o.d"
+  "libcloudjoin_data.a"
+  "libcloudjoin_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudjoin_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

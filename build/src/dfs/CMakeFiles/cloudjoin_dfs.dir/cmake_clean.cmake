@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudjoin_dfs.dir/sim_file_system.cc.o"
+  "CMakeFiles/cloudjoin_dfs.dir/sim_file_system.cc.o.d"
+  "libcloudjoin_dfs.a"
+  "libcloudjoin_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudjoin_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

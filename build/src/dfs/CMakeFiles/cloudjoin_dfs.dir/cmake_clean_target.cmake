@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcloudjoin_dfs.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/algorithms.cc" "src/geom/CMakeFiles/cloudjoin_geom.dir/algorithms.cc.o" "gcc" "src/geom/CMakeFiles/cloudjoin_geom.dir/algorithms.cc.o.d"
+  "/root/repo/src/geom/envelope.cc" "src/geom/CMakeFiles/cloudjoin_geom.dir/envelope.cc.o" "gcc" "src/geom/CMakeFiles/cloudjoin_geom.dir/envelope.cc.o.d"
+  "/root/repo/src/geom/geometry.cc" "src/geom/CMakeFiles/cloudjoin_geom.dir/geometry.cc.o" "gcc" "src/geom/CMakeFiles/cloudjoin_geom.dir/geometry.cc.o.d"
+  "/root/repo/src/geom/predicates.cc" "src/geom/CMakeFiles/cloudjoin_geom.dir/predicates.cc.o" "gcc" "src/geom/CMakeFiles/cloudjoin_geom.dir/predicates.cc.o.d"
+  "/root/repo/src/geom/prepared.cc" "src/geom/CMakeFiles/cloudjoin_geom.dir/prepared.cc.o" "gcc" "src/geom/CMakeFiles/cloudjoin_geom.dir/prepared.cc.o.d"
+  "/root/repo/src/geom/wkb.cc" "src/geom/CMakeFiles/cloudjoin_geom.dir/wkb.cc.o" "gcc" "src/geom/CMakeFiles/cloudjoin_geom.dir/wkb.cc.o.d"
+  "/root/repo/src/geom/wkt.cc" "src/geom/CMakeFiles/cloudjoin_geom.dir/wkt.cc.o" "gcc" "src/geom/CMakeFiles/cloudjoin_geom.dir/wkt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cloudjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudjoin_geom.dir/algorithms.cc.o"
+  "CMakeFiles/cloudjoin_geom.dir/algorithms.cc.o.d"
+  "CMakeFiles/cloudjoin_geom.dir/envelope.cc.o"
+  "CMakeFiles/cloudjoin_geom.dir/envelope.cc.o.d"
+  "CMakeFiles/cloudjoin_geom.dir/geometry.cc.o"
+  "CMakeFiles/cloudjoin_geom.dir/geometry.cc.o.d"
+  "CMakeFiles/cloudjoin_geom.dir/predicates.cc.o"
+  "CMakeFiles/cloudjoin_geom.dir/predicates.cc.o.d"
+  "CMakeFiles/cloudjoin_geom.dir/prepared.cc.o"
+  "CMakeFiles/cloudjoin_geom.dir/prepared.cc.o.d"
+  "CMakeFiles/cloudjoin_geom.dir/wkb.cc.o"
+  "CMakeFiles/cloudjoin_geom.dir/wkb.cc.o.d"
+  "CMakeFiles/cloudjoin_geom.dir/wkt.cc.o"
+  "CMakeFiles/cloudjoin_geom.dir/wkt.cc.o.d"
+  "libcloudjoin_geom.a"
+  "libcloudjoin_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudjoin_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geosim/geometry.cc" "src/geosim/CMakeFiles/cloudjoin_geosim.dir/geometry.cc.o" "gcc" "src/geosim/CMakeFiles/cloudjoin_geosim.dir/geometry.cc.o.d"
+  "/root/repo/src/geosim/operations.cc" "src/geosim/CMakeFiles/cloudjoin_geosim.dir/operations.cc.o" "gcc" "src/geosim/CMakeFiles/cloudjoin_geosim.dir/operations.cc.o.d"
+  "/root/repo/src/geosim/wkt_reader.cc" "src/geosim/CMakeFiles/cloudjoin_geosim.dir/wkt_reader.cc.o" "gcc" "src/geosim/CMakeFiles/cloudjoin_geosim.dir/wkt_reader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cloudjoin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/cloudjoin_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

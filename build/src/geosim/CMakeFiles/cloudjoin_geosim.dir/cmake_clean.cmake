@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudjoin_geosim.dir/geometry.cc.o"
+  "CMakeFiles/cloudjoin_geosim.dir/geometry.cc.o.d"
+  "CMakeFiles/cloudjoin_geosim.dir/operations.cc.o"
+  "CMakeFiles/cloudjoin_geosim.dir/operations.cc.o.d"
+  "CMakeFiles/cloudjoin_geosim.dir/wkt_reader.cc.o"
+  "CMakeFiles/cloudjoin_geosim.dir/wkt_reader.cc.o.d"
+  "libcloudjoin_geosim.a"
+  "libcloudjoin_geosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudjoin_geosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/impala/analyzer.cc" "src/impala/CMakeFiles/cloudjoin_impala.dir/analyzer.cc.o" "gcc" "src/impala/CMakeFiles/cloudjoin_impala.dir/analyzer.cc.o.d"
+  "/root/repo/src/impala/catalog.cc" "src/impala/CMakeFiles/cloudjoin_impala.dir/catalog.cc.o" "gcc" "src/impala/CMakeFiles/cloudjoin_impala.dir/catalog.cc.o.d"
+  "/root/repo/src/impala/exec_node.cc" "src/impala/CMakeFiles/cloudjoin_impala.dir/exec_node.cc.o" "gcc" "src/impala/CMakeFiles/cloudjoin_impala.dir/exec_node.cc.o.d"
+  "/root/repo/src/impala/expr.cc" "src/impala/CMakeFiles/cloudjoin_impala.dir/expr.cc.o" "gcc" "src/impala/CMakeFiles/cloudjoin_impala.dir/expr.cc.o.d"
+  "/root/repo/src/impala/lexer.cc" "src/impala/CMakeFiles/cloudjoin_impala.dir/lexer.cc.o" "gcc" "src/impala/CMakeFiles/cloudjoin_impala.dir/lexer.cc.o.d"
+  "/root/repo/src/impala/parser.cc" "src/impala/CMakeFiles/cloudjoin_impala.dir/parser.cc.o" "gcc" "src/impala/CMakeFiles/cloudjoin_impala.dir/parser.cc.o.d"
+  "/root/repo/src/impala/plan.cc" "src/impala/CMakeFiles/cloudjoin_impala.dir/plan.cc.o" "gcc" "src/impala/CMakeFiles/cloudjoin_impala.dir/plan.cc.o.d"
+  "/root/repo/src/impala/runtime.cc" "src/impala/CMakeFiles/cloudjoin_impala.dir/runtime.cc.o" "gcc" "src/impala/CMakeFiles/cloudjoin_impala.dir/runtime.cc.o.d"
+  "/root/repo/src/impala/types.cc" "src/impala/CMakeFiles/cloudjoin_impala.dir/types.cc.o" "gcc" "src/impala/CMakeFiles/cloudjoin_impala.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cloudjoin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/cloudjoin_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/geosim/CMakeFiles/cloudjoin_geosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/cloudjoin_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/cloudjoin_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

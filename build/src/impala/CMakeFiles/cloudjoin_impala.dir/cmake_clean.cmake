@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudjoin_impala.dir/analyzer.cc.o"
+  "CMakeFiles/cloudjoin_impala.dir/analyzer.cc.o.d"
+  "CMakeFiles/cloudjoin_impala.dir/catalog.cc.o"
+  "CMakeFiles/cloudjoin_impala.dir/catalog.cc.o.d"
+  "CMakeFiles/cloudjoin_impala.dir/exec_node.cc.o"
+  "CMakeFiles/cloudjoin_impala.dir/exec_node.cc.o.d"
+  "CMakeFiles/cloudjoin_impala.dir/expr.cc.o"
+  "CMakeFiles/cloudjoin_impala.dir/expr.cc.o.d"
+  "CMakeFiles/cloudjoin_impala.dir/lexer.cc.o"
+  "CMakeFiles/cloudjoin_impala.dir/lexer.cc.o.d"
+  "CMakeFiles/cloudjoin_impala.dir/parser.cc.o"
+  "CMakeFiles/cloudjoin_impala.dir/parser.cc.o.d"
+  "CMakeFiles/cloudjoin_impala.dir/plan.cc.o"
+  "CMakeFiles/cloudjoin_impala.dir/plan.cc.o.d"
+  "CMakeFiles/cloudjoin_impala.dir/runtime.cc.o"
+  "CMakeFiles/cloudjoin_impala.dir/runtime.cc.o.d"
+  "CMakeFiles/cloudjoin_impala.dir/types.cc.o"
+  "CMakeFiles/cloudjoin_impala.dir/types.cc.o.d"
+  "libcloudjoin_impala.a"
+  "libcloudjoin_impala.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudjoin_impala.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

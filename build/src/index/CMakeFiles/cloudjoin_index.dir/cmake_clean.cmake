@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudjoin_index.dir/grid_index.cc.o"
+  "CMakeFiles/cloudjoin_index.dir/grid_index.cc.o.d"
+  "CMakeFiles/cloudjoin_index.dir/quadtree.cc.o"
+  "CMakeFiles/cloudjoin_index.dir/quadtree.cc.o.d"
+  "CMakeFiles/cloudjoin_index.dir/rtree.cc.o"
+  "CMakeFiles/cloudjoin_index.dir/rtree.cc.o.d"
+  "CMakeFiles/cloudjoin_index.dir/spatial_partitioner.cc.o"
+  "CMakeFiles/cloudjoin_index.dir/spatial_partitioner.cc.o.d"
+  "CMakeFiles/cloudjoin_index.dir/str_tree.cc.o"
+  "CMakeFiles/cloudjoin_index.dir/str_tree.cc.o.d"
+  "libcloudjoin_index.a"
+  "libcloudjoin_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudjoin_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/join/broadcast_spatial_join.cc" "src/join/CMakeFiles/cloudjoin_join.dir/broadcast_spatial_join.cc.o" "gcc" "src/join/CMakeFiles/cloudjoin_join.dir/broadcast_spatial_join.cc.o.d"
+  "/root/repo/src/join/isp_mc_system.cc" "src/join/CMakeFiles/cloudjoin_join.dir/isp_mc_system.cc.o" "gcc" "src/join/CMakeFiles/cloudjoin_join.dir/isp_mc_system.cc.o.d"
+  "/root/repo/src/join/partitioned_spatial_join.cc" "src/join/CMakeFiles/cloudjoin_join.dir/partitioned_spatial_join.cc.o" "gcc" "src/join/CMakeFiles/cloudjoin_join.dir/partitioned_spatial_join.cc.o.d"
+  "/root/repo/src/join/spatial_predicate.cc" "src/join/CMakeFiles/cloudjoin_join.dir/spatial_predicate.cc.o" "gcc" "src/join/CMakeFiles/cloudjoin_join.dir/spatial_predicate.cc.o.d"
+  "/root/repo/src/join/spatial_spark_system.cc" "src/join/CMakeFiles/cloudjoin_join.dir/spatial_spark_system.cc.o" "gcc" "src/join/CMakeFiles/cloudjoin_join.dir/spatial_spark_system.cc.o.d"
+  "/root/repo/src/join/standalone_mc.cc" "src/join/CMakeFiles/cloudjoin_join.dir/standalone_mc.cc.o" "gcc" "src/join/CMakeFiles/cloudjoin_join.dir/standalone_mc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cloudjoin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/cloudjoin_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/geosim/CMakeFiles/cloudjoin_geosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/cloudjoin_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/cloudjoin_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cloudjoin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/impala/CMakeFiles/cloudjoin_impala.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudjoin_join.dir/broadcast_spatial_join.cc.o"
+  "CMakeFiles/cloudjoin_join.dir/broadcast_spatial_join.cc.o.d"
+  "CMakeFiles/cloudjoin_join.dir/isp_mc_system.cc.o"
+  "CMakeFiles/cloudjoin_join.dir/isp_mc_system.cc.o.d"
+  "CMakeFiles/cloudjoin_join.dir/partitioned_spatial_join.cc.o"
+  "CMakeFiles/cloudjoin_join.dir/partitioned_spatial_join.cc.o.d"
+  "CMakeFiles/cloudjoin_join.dir/spatial_predicate.cc.o"
+  "CMakeFiles/cloudjoin_join.dir/spatial_predicate.cc.o.d"
+  "CMakeFiles/cloudjoin_join.dir/spatial_spark_system.cc.o"
+  "CMakeFiles/cloudjoin_join.dir/spatial_spark_system.cc.o.d"
+  "CMakeFiles/cloudjoin_join.dir/standalone_mc.cc.o"
+  "CMakeFiles/cloudjoin_join.dir/standalone_mc.cc.o.d"
+  "libcloudjoin_join.a"
+  "libcloudjoin_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudjoin_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudjoin_sim.dir/cluster.cc.o"
+  "CMakeFiles/cloudjoin_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/cloudjoin_sim.dir/cost_model.cc.o"
+  "CMakeFiles/cloudjoin_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/cloudjoin_sim.dir/run_report.cc.o"
+  "CMakeFiles/cloudjoin_sim.dir/run_report.cc.o.d"
+  "CMakeFiles/cloudjoin_sim.dir/scheduler.cc.o"
+  "CMakeFiles/cloudjoin_sim.dir/scheduler.cc.o.d"
+  "libcloudjoin_sim.a"
+  "libcloudjoin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudjoin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

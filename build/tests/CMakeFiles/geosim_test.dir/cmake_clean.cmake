@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geosim_test.dir/geosim_test.cc.o"
+  "CMakeFiles/geosim_test.dir/geosim_test.cc.o.d"
+  "geosim_test"
+  "geosim_test.pdb"
+  "geosim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geosim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

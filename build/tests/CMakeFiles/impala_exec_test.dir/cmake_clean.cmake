@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impala_exec_test.dir/impala_exec_test.cc.o"
+  "CMakeFiles/impala_exec_test.dir/impala_exec_test.cc.o.d"
+  "impala_exec_test"
+  "impala_exec_test.pdb"
+  "impala_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impala_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impala_expr_test.dir/impala_expr_test.cc.o"
+  "CMakeFiles/impala_expr_test.dir/impala_expr_test.cc.o.d"
+  "impala_expr_test"
+  "impala_expr_test.pdb"
+  "impala_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impala_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impala_frontend_test.dir/impala_frontend_test.cc.o"
+  "CMakeFiles/impala_frontend_test.dir/impala_frontend_test.cc.o.d"
+  "impala_frontend_test"
+  "impala_frontend_test.pdb"
+  "impala_frontend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impala_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/sim_test.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/cloudjoin_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/cloudjoin_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cloudjoin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/impala/CMakeFiles/cloudjoin_impala.dir/DependInfo.cmake"
+  "/root/repo/build/src/geosim/CMakeFiles/cloudjoin_geosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/cloudjoin_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/cloudjoin_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/cloudjoin_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cloudjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/wkt_test[1]_include.cmake")
+include("/root/repo/build/tests/predicates_test[1]_include.cmake")
+include("/root/repo/build/tests/geosim_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/dfs_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/spark_test[1]_include.cmake")
+include("/root/repo/build/tests/impala_frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/impala_exec_test[1]_include.cmake")
+include("/root/repo/build/tests/join_test[1]_include.cmake")
+include("/root/repo/build/tests/systems_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/impala_expr_test[1]_include.cmake")
+include("/root/repo/build/tests/wkb_test[1]_include.cmake")
+include("/root/repo/build/tests/prepared_test[1]_include.cmake")
