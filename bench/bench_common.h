@@ -8,8 +8,11 @@
 
 #include "common/flags.h"
 #include "common/logging.h"
+#include "common/strings.h"
 #include "data/workloads.h"
 #include "dfs/sim_file_system.h"
+#include "geom/wkt.h"
+#include "join/broadcast_spatial_join.h"
 #include "join/isp_mc_system.h"
 #include "join/spatial_spark_system.h"
 #include "join/standalone_mc.h"
@@ -49,19 +52,25 @@ class PaperBench {
   }
 
   /// Runs SpatialSpark once on `workload` (real execution + metering).
-  join::SparkJoinRun RunSpark(const data::Workload& workload) {
-    join::SpatialSparkSystem system(&fs_, num_partitions_);
+  /// `prepare` opts the broadcast index into prepared-geometry refinement.
+  join::SparkJoinRun RunSpark(
+      const data::Workload& workload,
+      const join::PrepareOptions& prepare = join::PrepareOptions()) {
+    join::SpatialSparkSystem system(&fs_, num_partitions_, prepare);
     auto run = system.Join(workload.left, workload.right, workload.predicate);
     CLOUDJOIN_CHECK(run.ok()) << run.status();
     return std::move(run).value();
   }
 
-  /// Runs ISP-MC once (SQL path, faithful re-parsing refinement).
+  /// Runs ISP-MC once (SQL path, faithful re-parsing refinement unless
+  /// `cache_parsed`; `prepare_geometries` turns on prepared refinement).
   join::IspMcJoinRun RunIspMc(const data::Workload& workload,
-                              bool cache_parsed = false) {
+                              bool cache_parsed = false,
+                              bool prepare_geometries = false) {
     join::IspMcSystem system(&fs_);
     impala::QueryOptions options;
     options.cache_parsed_geometries = cache_parsed;
+    options.prepare_geometries = prepare_geometries;
     auto run = system.Join(workload.left, workload.right, workload.predicate,
                            options);
     CLOUDJOIN_CHECK(run.ok()) << run.status();
@@ -69,9 +78,12 @@ class PaperBench {
   }
 
   /// Runs the standalone ISP-MC implementation once.
-  join::StandaloneRun RunStandalone(const data::Workload& workload) {
+  join::StandaloneRun RunStandalone(
+      const data::Workload& workload,
+      const join::PrepareOptions& prepare = join::PrepareOptions()) {
     join::StandaloneMc system(&fs_);
-    auto run = system.Join(workload.left, workload.right, workload.predicate);
+    auto run = system.Join(workload.left, workload.right, workload.predicate,
+                           prepare);
     CLOUDJOIN_CHECK(run.ok()) << run.status();
     return std::move(run).value();
   }
@@ -155,6 +167,31 @@ class PaperBench {
   data::WorkloadSuite suite_;
   sim::CostModel cost_;
 };
+
+/// Parses one materialized table into (id, geometry) records outside any
+/// engine — the input shape for kernel-level ablations that benchmark the
+/// join core (BroadcastIndex, ProbeBatch, ParallelBroadcastSpatialJoin)
+/// without scan/parse overheads in the measured section.
+inline std::vector<join::IdGeometry> LoadIdGeometries(
+    dfs::SimFileSystem* fs, const join::TableInput& input) {
+  auto file = fs->GetFile(input.path);
+  CLOUDJOIN_CHECK(file.ok()) << file.status();
+  std::vector<join::IdGeometry> out;
+  dfs::LineRecordReader lines((*file)->data(), 0, (*file)->size());
+  std::string_view line;
+  while (lines.Next(&line)) {
+    std::vector<std::string_view> fields = StrSplit(line, input.separator);
+    if (static_cast<int>(fields.size()) <= input.geometry_column ||
+        static_cast<int>(fields.size()) <= input.id_column) {
+      continue;
+    }
+    auto id = ParseInt64(fields[input.id_column]);
+    auto parsed = geom::ReadWkt(fields[input.geometry_column]);
+    if (!id.ok() || !parsed.ok()) continue;
+    out.push_back(join::IdGeometry{*id, std::move(parsed).value()});
+  }
+  return out;
+}
 
 /// Prints one table row: name + per-system simulated seconds.
 inline void PrintRow(const std::string& name,

@@ -82,21 +82,39 @@ PreparedPolygon::PreparedPolygon(Geometry polygon, int grid_side)
     }
   }
 
-  // Pass 2: classify the remaining cells by their center. A cell with no
-  // boundary crossing is uniformly inside or outside.
+  // Pass 2: classify the remaining cells. A cell with no boundary crossing
+  // is uniformly inside or outside; moreover two *adjacent* non-boundary
+  // cells must agree, because a ring segment separating them would have
+  // intersected both closed cell rectangles and marked them boundary in
+  // pass 1. So within each row only one exact test per contiguous run of
+  // non-boundary cells is needed, making preparation cost proportional to
+  // the boundary length rather than the cell count.
   for (int r = 0; r < grid_side_; ++r) {
+    int run_state = -1;  // -1 = no classified run in progress
     for (int c = 0; c < grid_side_; ++c) {
       CellState& state = cells_[CellIndex(c, r)];
-      if (state == CellState::kBoundary) continue;
-      Point center{extent_.min_x() + (c + 0.5) * cell_w_,
-                   extent_.min_y() + (r + 0.5) * cell_h_};
-      state = PointInPolygon(center, polygon_) ? CellState::kInside
-                                               : CellState::kOutside;
+      if (state == CellState::kBoundary) {
+        run_state = -1;
+        continue;
+      }
+      if (run_state < 0) {
+        Point center{extent_.min_x() + (c + 0.5) * cell_w_,
+                     extent_.min_y() + (r + 0.5) * cell_h_};
+        run_state = PointInPolygon(center, polygon_) ? 1 : 0;
+      }
+      state = run_state == 1 ? CellState::kInside : CellState::kOutside;
     }
   }
 }
 
 bool PreparedPolygon::Contains(const Point& p) const {
+  bool unused = false;
+  return Contains(p, &unused);
+}
+
+bool PreparedPolygon::Contains(const Point& p,
+                               bool* used_exact_fallback) const {
+  *used_exact_fallback = false;
   if (!extent_.Contains(p)) return false;
   int c = std::clamp(static_cast<int>((p.x - extent_.min_x()) / cell_w_), 0,
                      grid_side_ - 1);
@@ -108,6 +126,7 @@ bool PreparedPolygon::Contains(const Point& p) const {
     case CellState::kOutside:
       return false;
     case CellState::kBoundary:
+      *used_exact_fallback = true;
       return PointInPolygon(p, polygon_);
   }
   return false;

@@ -9,6 +9,13 @@
 
 namespace cloudjoin::geom {
 
+/// Default grid resolution for prepared polygons (cells per axis).
+inline constexpr int kDefaultPreparedGridSide = 32;
+
+/// Default vertex threshold below which preparation is not worth its
+/// build cost (join engines fall back to the exact test for such records).
+inline constexpr int kDefaultPrepareMinVertices = 8;
+
 /// Point-in-polygon accelerator in the spirit of JTS PreparedGeometry /
 /// IndexedPointInAreaLocator: a uniform grid over the polygon's envelope
 /// where each cell is pre-classified as fully inside, fully outside, or
@@ -26,10 +33,16 @@ class PreparedPolygon {
   /// Prepares `polygon` (kPolygon or kMultiPolygon; copied). `grid_side`
   /// is the resolution per axis; cost of preparation is
   /// O(grid_side^2 + vertices * grid_side).
-  explicit PreparedPolygon(Geometry polygon, int grid_side = 32);
+  explicit PreparedPolygon(Geometry polygon,
+                           int grid_side = kDefaultPreparedGridSide);
 
   /// Exact containment test, accelerated.
   bool Contains(const Point& p) const;
+
+  /// Same test, additionally reporting whether the probe landed in a
+  /// boundary cell and took the exact ray-crossing fallback (feeds the
+  /// join engines' `join.boundary_fallbacks` counter).
+  bool Contains(const Point& p, bool* used_exact_fallback) const;
 
   const Geometry& polygon() const { return polygon_; }
 

@@ -4,6 +4,7 @@
 
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "geom/wkt.h"
 #include "geosim/wkt_reader.h"
 
 namespace cloudjoin::impala {
@@ -120,7 +121,7 @@ Result<std::unique_ptr<BroadcastRight>> BuildBroadcastRight(
     const TableDef* table, const dfs::SimFile* file,
     const std::vector<std::unique_ptr<Expr>>* filters,
     const std::vector<bool>* needed_slots, int geom_slot, double radius,
-    bool cache_parsed, Counters* counters) {
+    bool cache_parsed, bool prepare_geometries, Counters* counters) {
   CpuTimer watch;
   auto right = std::make_unique<BroadcastRight>();
   geosim::WKTReader reader(&GeosFactory());
@@ -156,6 +157,25 @@ Result<std::unique_ptr<BroadcastRight>> BuildBroadcastRight(
       entries.push_back(index::StrTree::Entry{env, id});
       right->bytes += RowBytes(row);
       right->wkt.push_back(*wkt);
+      if (prepare_geometries) {
+        // Prepared grids come from the flat geometry kernel (a second
+        // parse, but only for polygons above the vertex threshold, once
+        // per broadcast).
+        std::unique_ptr<geom::PreparedPolygon> prep;
+        const geosim::GeometryTypeId type_id = (*parsed)->getGeometryTypeId();
+        if ((type_id == geosim::GeometryTypeId::kPolygon ||
+             type_id == geosim::GeometryTypeId::kMultiPolygon) &&
+            (*parsed)->getNumPoints() >=
+                static_cast<size_t>(geom::kDefaultPrepareMinVertices)) {
+          auto flat = geom::ReadWkt(*wkt);
+          if (flat.ok()) {
+            prep = std::make_unique<geom::PreparedPolygon>(
+                std::move(flat).value());
+            counters->Add("broadcast.prepared", 1);
+          }
+        }
+        right->prepared.push_back(std::move(prep));
+      }
       if (cache_parsed) {
         right->parsed.push_back(std::move(parsed).value());
       }
@@ -206,10 +226,21 @@ void SpatialJoinNode::ProcessLeftRow(const Row& left_row, RowBatch*) {
   const geosim::Geometry& left_geom = **parsed;
 
   candidates_.clear();
-  right_->tree->Query(left_geom.getEnvelopeInternal(),
-                      [this](int64_t id) { candidates_.push_back(id); });
+  right_->tree->VisitQuery(left_geom.getEnvelopeInternal(),
+                           [this](int64_t id) { candidates_.push_back(id); });
   counters_->Add("join.candidates",
                  static_cast<int64_t>(candidates_.size()));
+
+  // Prepared refinement applies when the right side carries grids, the
+  // predicate is a point-in-polygon test, and this probe is a point.
+  const geosim::PointImpl* left_point = nullptr;
+  if (!right_->prepared.empty() &&
+      spec_->predicate == SpatialJoinSpec::Predicate::kWithin &&
+      left_geom.getGeometryTypeId() == geosim::GeometryTypeId::kPoint) {
+    left_point = static_cast<const geosim::PointImpl*>(&left_geom);
+  }
+  int64_t prepared_hits = 0;
+  int64_t boundary_fallbacks = 0;
 
   if (!cache_parsed_) {
     // Prepare the UDF argument slots once per probe row; only the right
@@ -223,7 +254,16 @@ void SpatialJoinNode::ProcessLeftRow(const Row& left_row, RowBatch*) {
 
   for (int64_t id : candidates_) {
     bool match = false;
-    if (cache_parsed_) {
+    const geom::PreparedPolygon* prep =
+        left_point != nullptr ? right_->prepared[static_cast<size_t>(id)].get()
+                              : nullptr;
+    if (prep != nullptr) {
+      ++prepared_hits;
+      bool fallback = false;
+      match = prep->Contains(
+          geom::Point{left_point->getX(), left_point->getY()}, &fallback);
+      if (fallback) ++boundary_fallbacks;
+    } else if (cache_parsed_) {
       // Ablation: reuse parsed geometries instead of re-parsing WKT.
       const geosim::Geometry* right_geom =
           right_->parsed[static_cast<size_t>(id)].get();
@@ -267,6 +307,12 @@ void SpatialJoinNode::ProcessLeftRow(const Row& left_row, RowBatch*) {
       out.push_back(expr->Evaluate(&left_row, &right_row));
     }
     pending_.push_back(std::move(out));
+  }
+  if (prepared_hits > 0) {
+    counters_->Add("join.prepared_hits", prepared_hits);
+  }
+  if (boundary_fallbacks > 0) {
+    counters_->Add("join.boundary_fallbacks", boundary_fallbacks);
   }
 }
 

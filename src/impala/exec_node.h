@@ -8,6 +8,7 @@
 #include "common/counters.h"
 #include "common/result.h"
 #include "dfs/sim_file_system.h"
+#include "geom/prepared.h"
 #include "geosim/geometry.h"
 #include "impala/analyzer.h"
 #include "impala/catalog.h"
@@ -75,6 +76,10 @@ struct BroadcastRight {
   /// reuse-parsed-geometries ablation; off = the paper's faithful re-parse
   /// behaviour).
   std::vector<std::unique_ptr<geosim::Geometry>> parsed;
+  /// Prepared point-in-polygon grids, filled only when geometry
+  /// preparation is enabled; slot-aligned with `rows`, nullptr for records
+  /// that are not polygons or are below the vertex threshold.
+  std::vector<std::unique_ptr<geom::PreparedPolygon>> prepared;
   /// Estimated serialized size (what the network broadcast ships).
   int64_t bytes = 0;
   /// Measured wall-clock to scan + parse + index the right side once.
@@ -82,12 +87,14 @@ struct BroadcastRight {
 };
 
 /// Builds the broadcast structure by scanning the whole right table.
-/// `cache_parsed` enables the geometry-reuse ablation.
+/// `cache_parsed` enables the geometry-reuse ablation; `prepare_geometries`
+/// additionally builds a `geom::PreparedPolygon` per sufficiently complex
+/// right polygon so kWithin point probes refine in O(1).
 Result<std::unique_ptr<BroadcastRight>> BuildBroadcastRight(
     const TableDef* table, const dfs::SimFile* file,
     const std::vector<std::unique_ptr<Expr>>* filters,
     const std::vector<bool>* needed_slots, int geom_slot, double radius,
-    bool cache_parsed, Counters* counters);
+    bool cache_parsed, bool prepare_geometries, Counters* counters);
 
 /// The paper's SpatialJoin exec node: streams left batches, probes the
 /// broadcast R-tree (spatial filtering), refines candidate pairs with the

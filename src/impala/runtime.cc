@@ -184,6 +184,7 @@ Result<QueryResult> ImpalaRuntime::Execute(const std::string& sql,
                                    &query->right_filters, &right_needed,
                                    geom_slot, radius,
                                    options.cache_parsed_geometries,
+                                   options.prepare_geometries,
                                    &result.metrics.counters));
     result.metrics.right_build_seconds = right->build_seconds;
     result.metrics.broadcast_bytes = right->bytes;

@@ -21,6 +21,11 @@ struct QueryOptions {
   /// ("implement these functions as LLVM IR ... data parallel designs").
   /// Off by default = faithful ISP-MC behaviour.
   bool cache_parsed_geometries = false;
+  /// When true, the broadcast build additionally prepares a point-in-
+  /// polygon grid per sufficiently complex right polygon; kWithin point
+  /// probes then refine in O(1) outside boundary cells (exact fallback
+  /// inside them). Results are identical either way. Off by default.
+  bool prepare_geometries = false;
 };
 
 /// Measured timing of one left-table scan range (≈ one plan-fragment

@@ -129,38 +129,18 @@ StrTree::StrTree(std::vector<Entry> entries, int node_capacity)
 
 void StrTree::Query(const geom::Envelope& query,
                     const std::function<void(int64_t)>& fn) const {
-  if (root_ < 0 || !query.Intersects(bounds_)) return;
-  // Explicit stack: recursion-free for deep trees and tight inner loop.
-  int32_t stack[256];
-  int depth = 0;
-  stack[depth++] = root_;
-  while (depth > 0) {
-    const Node& node = nodes_[stack[--depth]];
-    if (!node.envelope.Intersects(query)) continue;
-    if (node.is_leaf) {
-      for (int32_t i = 0; i < node.num_children; ++i) {
-        const Entry& e = entries_[node.first_child + i];
-        if (e.envelope.Intersects(query)) fn(e.id);
-      }
-    } else {
-      for (int32_t i = 0; i < node.num_children; ++i) {
-        CLOUDJOIN_DCHECK(depth < 256);
-        stack[depth++] = node.first_child + i;
-      }
-    }
-  }
+  VisitQuery(query, [&fn](int64_t id) { fn(id); });
 }
 
 void StrTree::Query(const geom::Envelope& query,
                     std::vector<int64_t>* out) const {
-  Query(query, [out](int64_t id) { out->push_back(id); });
+  VisitQuery(query, [out](int64_t id) { out->push_back(id); });
 }
 
 void StrTree::QueryWithinDistance(const geom::Point& p, double distance,
                                   std::vector<int64_t>* out) const {
-  geom::Envelope query(p.x - distance, p.y - distance, p.x + distance,
-                       p.y + distance);
-  Query(query, [&](int64_t id) { out->push_back(id); });
+  VisitWithinDistance(p, distance,
+                      [out](int64_t id) { out->push_back(id); });
 }
 
 int64_t StrTree::NearestEnvelope(const geom::Point& p) const {

@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/logging.h"
 #include "geom/envelope.h"
 #include "geom/point.h"
 
@@ -37,11 +38,54 @@ class StrTree {
   StrTree(StrTree&&) = default;
   StrTree& operator=(StrTree&&) = default;
 
-  /// Invokes `fn(id)` for every entry whose envelope intersects `query`.
+  /// Invokes `visit(id)` for every entry whose envelope intersects `query`.
+  ///
+  /// Header-inline template: the visitor is statically dispatched, so the
+  /// filter's inner loop makes no indirect call and no allocation — this is
+  /// the join engines' probe fast path. The `std::function` overload below
+  /// is a thin wrapper kept for type-erased callers.
+  template <typename Visitor>
+  void VisitQuery(const geom::Envelope& query, Visitor&& visit) const {
+    if (root_ < 0 || !query.Intersects(bounds_)) return;
+    // Explicit stack: recursion-free for deep trees and tight inner loop.
+    int32_t stack[kMaxStackDepth];
+    int depth = 0;
+    stack[depth++] = root_;
+    while (depth > 0) {
+      const Node& node = nodes_[stack[--depth]];
+      if (!node.envelope.Intersects(query)) continue;
+      if (node.is_leaf) {
+        for (int32_t i = 0; i < node.num_children; ++i) {
+          const Entry& e = entries_[node.first_child + i];
+          if (e.envelope.Intersects(query)) visit(e.id);
+        }
+      } else {
+        for (int32_t i = 0; i < node.num_children; ++i) {
+          CLOUDJOIN_DCHECK(depth < kMaxStackDepth);
+          stack[depth++] = node.first_child + i;
+        }
+      }
+    }
+  }
+
+  /// Invokes `visit(id)` for every entry whose envelope is within
+  /// `distance` of `p` (the NearestD filter step), statically dispatched.
+  template <typename Visitor>
+  void VisitWithinDistance(const geom::Point& p, double distance,
+                           Visitor&& visit) const {
+    geom::Envelope query(p.x - distance, p.y - distance, p.x + distance,
+                         p.y + distance);
+    VisitQuery(query, std::forward<Visitor>(visit));
+  }
+
+  /// Invokes `fn(id)` for every entry whose envelope intersects `query`
+  /// (type-erased wrapper over VisitQuery).
   void Query(const geom::Envelope& query,
              const std::function<void(int64_t)>& fn) const;
 
-  /// Appends ids of every entry whose envelope intersects `query`.
+  /// Appends ids of every entry whose envelope intersects `query`. `out` is
+  /// a caller-held scratch buffer — reuse it across probes (clear, don't
+  /// reallocate) to keep the filter step allocation-free in steady state.
   void Query(const geom::Envelope& query, std::vector<int64_t>* out) const;
 
   /// Appends ids of every entry whose envelope is within `distance` of `p`
@@ -63,6 +107,10 @@ class StrTree {
   const geom::Envelope& bounds() const { return bounds_; }
 
  private:
+  /// Traversal stack bound: capacity >= 2 gives height <= log2(2^31), and
+  /// each level pushes at most node_capacity entries.
+  static constexpr int kMaxStackDepth = 256;
+
   struct Node {
     geom::Envelope envelope;
     // For internal nodes: [first_child, first_child + num_children) in

@@ -2,9 +2,33 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
 namespace cloudjoin::join {
 
-BroadcastIndex::BroadcastIndex(std::vector<IdGeometry> records, double radius)
+void ProbeStats::FlushTo(Counters* counters) const {
+  if (counters == nullptr) return;
+  if (candidates != 0) counters->Add("join.candidates", candidates);
+  if (matches != 0) counters->Add("join.matches", matches);
+  if (prepared_hits != 0) counters->Add("join.prepared_hits", prepared_hits);
+  if (boundary_fallbacks != 0) {
+    counters->Add("join.boundary_fallbacks", boundary_fallbacks);
+  }
+}
+
+namespace {
+
+bool IsPreparable(const geom::Geometry& g, int min_vertices) {
+  return (g.type() == geom::GeometryType::kPolygon ||
+          g.type() == geom::GeometryType::kMultiPolygon) &&
+         g.NumCoords() >= min_vertices;
+}
+
+}  // namespace
+
+BroadcastIndex::BroadcastIndex(std::vector<IdGeometry> records, double radius,
+                               const PrepareOptions& prepare)
     : records_(std::move(records)) {
   std::vector<index::StrTree::Entry> entries;
   entries.reserve(records_.size());
@@ -15,6 +39,28 @@ BroadcastIndex::BroadcastIndex(std::vector<IdGeometry> records, double radius)
         index::StrTree::Entry{env, static_cast<int64_t>(i)});
   }
   tree_ = std::make_unique<index::StrTree>(std::move(entries));
+
+  if (prepare.enabled && !records_.empty()) {
+    Stopwatch prepare_watch;  // wall clock: preparation may be parallel
+    prepared_.resize(records_.size());
+    auto prepare_one = [this, &prepare](int64_t i) {
+      const geom::Geometry& g = records_[static_cast<size_t>(i)].geometry;
+      if (IsPreparable(g, prepare.min_vertices)) {
+        prepared_[static_cast<size_t>(i)] =
+            std::make_unique<geom::PreparedPolygon>(g, prepare.grid_side);
+      }
+    };
+    if (prepare.pool != nullptr) {
+      ParallelFor(prepare.pool, static_cast<int64_t>(records_.size()),
+                  prepare_one);
+    } else {
+      for (int64_t i = 0; i < static_cast<int64_t>(records_.size()); ++i) {
+        prepare_one(i);
+      }
+    }
+    for (const auto& p : prepared_) num_prepared_ += p != nullptr ? 1 : 0;
+    prepare_seconds_ = prepare_watch.ElapsedSeconds();
+  }
 }
 
 bool RefinePair(const geom::Geometry& left, const geom::Geometry& right,
@@ -30,24 +76,43 @@ bool RefinePair(const geom::Geometry& left, const geom::Geometry& right,
   return false;
 }
 
+bool BroadcastIndex::RefineCandidate(const geom::Geometry& probe, size_t slot,
+                                     const SpatialPredicate& predicate,
+                                     ProbeStats* stats) const {
+  if (!prepared_.empty() && predicate.op == SpatialOperator::kWithin &&
+      probe.type() == geom::GeometryType::kPoint && !probe.IsEmpty()) {
+    const geom::PreparedPolygon* prep = prepared_[slot].get();
+    if (prep != nullptr) {
+      ++stats->prepared_hits;
+      bool fallback = false;
+      bool contained = prep->Contains(probe.FirstPoint(), &fallback);
+      if (fallback) ++stats->boundary_fallbacks;
+      return contained;
+    }
+  }
+  return RefinePair(probe, records_[slot].geometry, predicate);
+}
+
 void BroadcastIndex::Probe(const IdGeometry& probe,
                            const SpatialPredicate& predicate,
                            std::vector<IdPair>* out,
                            Counters* counters) const {
-  int64_t candidates = 0;
-  int64_t matches = 0;
-  tree_->Query(probe.geometry.envelope(), [&](int64_t slot) {
-    ++candidates;
-    const IdGeometry& candidate = records_[static_cast<size_t>(slot)];
-    if (RefinePair(probe.geometry, candidate.geometry, predicate)) {
-      out->emplace_back(probe.id, candidate.id);
-      ++matches;
-    }
-  });
-  if (counters != nullptr) {
-    counters->Add("join.candidates", candidates);
-    counters->Add("join.matches", matches);
+  ProbeStats stats;
+  ProbeVisit(probe, predicate,
+             [out](const IdPair& pair) { out->push_back(pair); }, &stats);
+  stats.FlushTo(counters);
+}
+
+void BroadcastIndex::ProbeBatch(std::span<const IdGeometry> probes,
+                                const SpatialPredicate& predicate,
+                                std::vector<IdPair>* out,
+                                Counters* counters) const {
+  ProbeStats stats;
+  for (const IdGeometry& probe : probes) {
+    ProbeVisit(probe, predicate,
+               [out](const IdPair& pair) { out->push_back(pair); }, &stats);
   }
+  stats.FlushTo(counters);
 }
 
 int64_t BroadcastIndex::MemoryBytes() const {
@@ -61,12 +126,62 @@ int64_t BroadcastIndex::MemoryBytes() const {
 std::vector<IdPair> BroadcastSpatialJoin(const std::vector<IdGeometry>& left,
                                          std::vector<IdGeometry> right,
                                          const SpatialPredicate& predicate,
-                                         Counters* counters) {
-  BroadcastIndex index(std::move(right), predicate.FilterRadius());
+                                         Counters* counters,
+                                         const PrepareOptions& prepare) {
+  BroadcastIndex index(std::move(right), predicate.FilterRadius(), prepare);
   std::vector<IdPair> out;
-  for (const IdGeometry& probe : left) {
-    index.Probe(probe, predicate, &out, counters);
+  index.ProbeBatch(std::span<const IdGeometry>(left.data(), left.size()),
+                   predicate, &out, counters);
+  return out;
+}
+
+std::vector<IdPair> ParallelBroadcastSpatialJoin(
+    const std::vector<IdGeometry>& left, std::vector<IdGeometry> right,
+    const SpatialPredicate& predicate, int num_threads,
+    const PrepareOptions& prepare, Counters* counters) {
+  CLOUDJOIN_CHECK(num_threads >= 1);
+  ThreadPool pool(num_threads);
+  PrepareOptions pooled_prepare = prepare;
+  if (pooled_prepare.enabled && pooled_prepare.pool == nullptr) {
+    pooled_prepare.pool = &pool;
   }
+  BroadcastIndex index(std::move(right), predicate.FilterRadius(),
+                       pooled_prepare);
+
+  // Contiguous shards, several per thread so a skewed shard cannot
+  // serialize the run; per-shard output buffers concatenated in shard
+  // order reproduce the serial left-major output byte for byte.
+  const int64_t n = static_cast<int64_t>(left.size());
+  const int64_t num_shards =
+      std::min<int64_t>(n, static_cast<int64_t>(num_threads) * 8);
+  std::vector<IdPair> out;
+  if (num_shards <= 0) return out;
+  const int64_t shard_size = (n + num_shards - 1) / num_shards;
+  std::vector<std::vector<IdPair>> shard_out(
+      static_cast<size_t>(num_shards));
+  std::vector<ProbeStats> shard_stats(static_cast<size_t>(num_shards));
+  ParallelFor(&pool, num_shards, [&](int64_t shard) {
+    const int64_t begin = shard * shard_size;
+    const int64_t end = std::min(n, begin + shard_size);
+    auto* shard_pairs = &shard_out[static_cast<size_t>(shard)];
+    ProbeStats* stats = &shard_stats[static_cast<size_t>(shard)];
+    for (int64_t i = begin; i < end; ++i) {
+      index.ProbeVisit(
+          left[static_cast<size_t>(i)], predicate,
+          [shard_pairs](const IdPair& pair) { shard_pairs->push_back(pair); },
+          stats);
+    }
+  });
+
+  ProbeStats total;
+  size_t total_pairs = 0;
+  for (const auto& shard : shard_out) total_pairs += shard.size();
+  out.reserve(total_pairs);
+  for (size_t shard = 0; shard < shard_out.size(); ++shard) {
+    out.insert(out.end(), shard_out[shard].begin(), shard_out[shard].end());
+    total.MergeFrom(shard_stats[shard]);
+  }
+  total.FlushTo(counters);
   return out;
 }
 

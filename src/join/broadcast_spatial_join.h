@@ -3,12 +3,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "common/counters.h"
+#include "common/thread_pool.h"
 #include "geom/geometry.h"
 #include "geom/predicates.h"
+#include "geom/prepared.h"
 #include "index/str_tree.h"
 #include "join/spatial_predicate.h"
 
@@ -24,28 +27,123 @@ struct IdGeometry {
 /// An (left id, right id) join match.
 using IdPair = std::pair<int64_t, int64_t>;
 
+/// Tuning for prepared-geometry refinement: whether to build a
+/// `geom::PreparedPolygon` per right-side polygon record, and when.
+///
+/// This is the paper's "boosting the performance of geometry operations"
+/// future-work direction: when one polygon is refined against many point
+/// probes (the broadcast-join access pattern), the grid preparation
+/// amortizes and `kWithin` refinement drops from O(vertices) to O(1)
+/// outside boundary cells.
+struct PrepareOptions {
+  /// Off by default: exact refinement, the seed behaviour.
+  bool enabled = false;
+  /// Only polygons with at least this many vertices are prepared; smaller
+  /// ones refine exactly (preparation would cost more than it saves).
+  int min_vertices = geom::kDefaultPrepareMinVertices;
+  /// Grid resolution per axis (see PreparedPolygon).
+  int grid_side = geom::kDefaultPreparedGridSide;
+  /// Optional worker pool: when set, per-record preparation runs in
+  /// parallel (records are independent). When null, preparation is serial.
+  ThreadPool* pool = nullptr;
+
+  static PrepareOptions Prepared(ThreadPool* pool = nullptr) {
+    PrepareOptions options;
+    options.enabled = true;
+    options.pool = pool;
+    return options;
+  }
+};
+
+/// Per-probe (or per-batch) refinement statistics, accumulated locally and
+/// flushed to a `Counters` once — keeps the mutex off the probe hot path.
+struct ProbeStats {
+  int64_t candidates = 0;
+  int64_t matches = 0;
+  /// Candidates refined through a prepared grid instead of the exact test.
+  int64_t prepared_hits = 0;
+  /// Prepared refinements that landed in a boundary cell and fell back to
+  /// the exact ray-crossing test.
+  int64_t boundary_fallbacks = 0;
+
+  void MergeFrom(const ProbeStats& other) {
+    candidates += other.candidates;
+    matches += other.matches;
+    prepared_hits += other.prepared_hits;
+    boundary_fallbacks += other.boundary_fallbacks;
+  }
+
+  /// Adds the non-zero fields to `counters` (no-op on nullptr).
+  void FlushTo(Counters* counters) const;
+};
+
 /// The broadcast side of the join: the right-side records plus the STR-tree
-/// over their (radius-expanded) envelopes. Build once, probe from anywhere.
+/// over their (radius-expanded) envelopes, and — when prepared refinement
+/// is enabled — a grid accelerator per sufficiently complex polygon.
+/// Build once, probe from anywhere (probes are const and thread-safe).
 class BroadcastIndex {
  public:
   /// Builds the index; `radius` expands every envelope (NearestD filter).
-  BroadcastIndex(std::vector<IdGeometry> records, double radius);
+  /// `prepare` controls prepared-geometry refinement (off = exact).
+  BroadcastIndex(std::vector<IdGeometry> records, double radius,
+                 const PrepareOptions& prepare = PrepareOptions());
+
+  /// Statically dispatched probe: filters `probe` through the STR-tree and
+  /// refines every candidate, calling `emit(IdPair)` for each match. No
+  /// indirect call and no allocation per probe. `stats` must be non-null.
+  template <typename Emit>
+  void ProbeVisit(const IdGeometry& probe, const SpatialPredicate& predicate,
+                  Emit&& emit, ProbeStats* stats) const {
+    tree_->VisitQuery(probe.geometry.envelope(), [&](int64_t slot) {
+      ++stats->candidates;
+      if (RefineCandidate(probe.geometry, static_cast<size_t>(slot),
+                          predicate, stats)) {
+        ++stats->matches;
+        emit(IdPair(probe.id, records_[static_cast<size_t>(slot)].id));
+      }
+    });
+  }
 
   /// Refines `probe` against every filtered candidate, appending matches
-  /// (probe_id, right_id) to `out`. Counters (optional): filter candidates
-  /// and refinement tests.
+  /// (probe_id, right_id) to `out`. Counters (optional): filter candidates,
+  /// refinement tests, and prepared/fallback refinement counts.
   void Probe(const IdGeometry& probe, const SpatialPredicate& predicate,
              std::vector<IdPair>* out, Counters* counters = nullptr) const;
 
+  /// Row-batch probe (mirrors ISP-MC's vectorized execution): probes every
+  /// record of `probes` in order, appending matches to `out`; counter
+  /// updates are amortized over the whole batch instead of per record.
+  void ProbeBatch(std::span<const IdGeometry> probes,
+                  const SpatialPredicate& predicate, std::vector<IdPair>* out,
+                  Counters* counters = nullptr) const;
+
   int64_t size() const { return static_cast<int64_t>(records_.size()); }
   const index::StrTree& tree() const { return *tree_; }
+
+  /// Number of right-side records carrying a prepared grid (0 when
+  /// preparation is disabled).
+  int64_t num_prepared() const { return num_prepared_; }
+
+  /// Wall-clock spent building prepared grids (0 when disabled).
+  double prepare_seconds() const { return prepare_seconds_; }
 
   /// Approximate broadcast payload size (records + tree).
   int64_t MemoryBytes() const;
 
  private:
+  /// Refines one candidate: prepared-grid point-in-polygon when available
+  /// for kWithin point probes, exact predicate otherwise.
+  bool RefineCandidate(const geom::Geometry& probe, size_t slot,
+                       const SpatialPredicate& predicate,
+                       ProbeStats* stats) const;
+
   std::vector<IdGeometry> records_;
+  /// Slot-aligned with records_; empty when preparation is disabled,
+  /// nullptr per slot for records below the vertex threshold.
+  std::vector<std::unique_ptr<geom::PreparedPolygon>> prepared_;
   std::unique_ptr<index::StrTree> tree_;
+  int64_t num_prepared_ = 0;
+  double prepare_seconds_ = 0.0;
 };
 
 /// Evaluates `predicate` between two parsed geometries (the refinement
@@ -55,11 +153,23 @@ bool RefinePair(const geom::Geometry& left, const geom::Geometry& right,
 
 /// The paper's core algorithm: build an STR-tree over `right`, stream
 /// `left` through it, refine candidates. Returns matched (left_id,
-/// right_id) pairs in left-major order.
-std::vector<IdPair> BroadcastSpatialJoin(const std::vector<IdGeometry>& left,
-                                         std::vector<IdGeometry> right,
-                                         const SpatialPredicate& predicate,
-                                         Counters* counters = nullptr);
+/// right_id) pairs in left-major order. `prepare` opts into
+/// prepared-geometry refinement (results are identical either way).
+std::vector<IdPair> BroadcastSpatialJoin(
+    const std::vector<IdGeometry>& left, std::vector<IdGeometry> right,
+    const SpatialPredicate& predicate, Counters* counters = nullptr,
+    const PrepareOptions& prepare = PrepareOptions());
+
+/// Parallel probe engine: builds the index once, shards `left` into
+/// contiguous ranges probed concurrently on `num_threads` workers with
+/// per-thread output buffers, then concatenates the buffers in shard
+/// order. Because shards are contiguous and in input order, the result is
+/// byte-identical to BroadcastSpatialJoin for every thread count.
+std::vector<IdPair> ParallelBroadcastSpatialJoin(
+    const std::vector<IdGeometry>& left, std::vector<IdGeometry> right,
+    const SpatialPredicate& predicate, int num_threads,
+    const PrepareOptions& prepare = PrepareOptions(),
+    Counters* counters = nullptr);
 
 /// O(|left| * |right|) reference join (the naive cross-join baseline of the
 /// paper's §II; also the test oracle).

@@ -67,8 +67,9 @@ spark::Rdd<IdGeometry> GeometryById(spark::SparkContext* ctx,
 }  // namespace
 
 SpatialSparkSystem::SpatialSparkSystem(dfs::SimFileSystem* fs,
-                                       int num_partitions)
-    : fs_(fs), num_partitions_(num_partitions) {
+                                       int num_partitions,
+                                       const PrepareOptions& prepare)
+    : fs_(fs), num_partitions_(num_partitions), prepare_(prepare) {
   CLOUDJOIN_CHECK(fs != nullptr);
   CLOUDJOIN_CHECK(num_partitions >= 1);
 }
@@ -94,23 +95,35 @@ Result<SparkJoinRun> SpatialSparkSystem::Join(
 
   CpuTimer build_watch;
   auto index = std::make_shared<const BroadcastIndex>(
-      std::move(right_records), predicate.FilterRadius());
+      std::move(right_records), predicate.FilterRadius(), prepare_);
   run.driver_build_seconds = build_watch.ElapsedSeconds();
+  run.prepare_seconds = index->prepare_seconds();
+  if (index->num_prepared() > 0) {
+    run.counters.Add("join.prepared_records", index->num_prepared());
+    run.counters.Add("join.prepare_micros",
+                     static_cast<int64_t>(run.prepare_seconds * 1e6));
+  }
 
   spark::Broadcast<BroadcastIndex> broadcast =
       ctx.BroadcastValue<BroadcastIndex>(index, index->MemoryBytes());
   run.broadcast_bytes = broadcast.bytes();
 
-  // Left side streamed through the probe.
+  // Left side streamed through the probe: matches are emitted straight to
+  // the stage's sink (no per-probe staging vector). Stages run serially
+  // (SparkContext::RunStage is a plain loop), so one shared ProbeStats,
+  // flushed once after the collect, keeps the counter mutex off the
+  // measured probe path.
+  ProbeStats probe_stats;
+  ProbeStats* stats = &probe_stats;
   spark::Rdd<IdGeometry> left_rdd = GeometryById(&ctx, left, num_partitions_);
   spark::Rdd<IdPair> matched = left_rdd.FlatMap<IdPair>(
-      [broadcast, predicate](const IdGeometry& probe,
-                             const std::function<void(const IdPair&)>& emit) {
-        std::vector<IdPair> local;
-        broadcast.value().Probe(probe, predicate, &local);
-        for (const IdPair& pair : local) emit(pair);
+      [broadcast, predicate, stats](
+          const IdGeometry& probe,
+          const std::function<void(const IdPair&)>& emit) {
+        broadcast.value().ProbeVisit(probe, predicate, emit, stats);
       });
   run.pairs = matched.Collect();
+  probe_stats.FlushTo(&run.counters);
 
   run.stages = ctx.stages();
   return run;
@@ -185,9 +198,12 @@ Result<SparkJoinRun> SpatialSparkSystem::PartitionedJoin(
       GeometryById(&ctx, left, num_partitions_).FlatMap<Tagged>(tag(0.0)),
       num_tiles, identity);
 
-  // Tile-local indexed joins, one task per tile.
+  // Tile-local indexed joins, one task per tile. Stages run serially, so
+  // accumulating stats and prepare time across tiles is safe.
   std::vector<std::vector<IdPair>> tile_pairs(
       static_cast<size_t>(num_tiles));
+  ProbeStats probe_stats;
+  int64_t prepared_records = 0;
   // Stage name carries the left path so harness-side extrapolation treats
   // the (probe-dominated) tile joins as left-side work.
   ctx.RunStage("partitionedJoin(" + left.path + ")", num_tiles,
@@ -196,12 +212,22 @@ Result<SparkJoinRun> SpatialSparkSystem::PartitionedJoin(
     right_tiled.ComputePartition(
         tile, [&](const Tagged& kv) { right_local.push_back(kv.second); });
     if (right_local.empty()) return;
-    BroadcastIndex index(std::move(right_local), radius);
+    BroadcastIndex index(std::move(right_local), radius, prepare_);
+    run.prepare_seconds += index.prepare_seconds();
+    prepared_records += index.num_prepared();
     auto* out = &tile_pairs[static_cast<size_t>(tile)];
     left_tiled.ComputePartition(tile, [&](const Tagged& kv) {
-      index.Probe(kv.second, predicate, out);
+      index.ProbeVisit(
+          kv.second, predicate,
+          [out](const IdPair& pair) { out->push_back(pair); }, &probe_stats);
     });
   });
+  probe_stats.FlushTo(&run.counters);
+  if (prepared_records > 0) {
+    run.counters.Add("join.prepared_records", prepared_records);
+    run.counters.Add("join.prepare_micros",
+                     static_cast<int64_t>(run.prepare_seconds * 1e6));
+  }
 
   // Merge + dedup (replication can emit a pair in several tiles).
   for (auto& pairs : tile_pairs) {
@@ -223,6 +249,7 @@ sim::RunReport SpatialSparkSystem::Simulate(const SparkJoinRun& run,
   report.system = "SpatialSpark";
   report.experiment = experiment;
   report.result_count = static_cast<int64_t>(run.pairs.size());
+  report.counters = run.counters;
 
   double compute = 0.0;
   double local = 0.0;

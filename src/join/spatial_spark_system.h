@@ -22,10 +22,17 @@ namespace cloudjoin::join {
 struct SparkJoinRun {
   std::vector<IdPair> pairs;
   std::vector<spark::StageMetrics> stages;
-  /// Driver-side STR-tree construction over the collected right side.
+  /// Driver-side STR-tree construction over the collected right side
+  /// (includes prepared-grid construction when enabled).
   double driver_build_seconds = 0.0;
+  /// Portion of driver_build_seconds spent building prepared grids.
+  double prepare_seconds = 0.0;
   int64_t broadcast_bytes = 0;
   int num_partitions = 0;
+  /// Probe-path metrics: join.candidates, join.matches, and — with
+  /// prepared refinement — join.prepared_hits / join.boundary_fallbacks /
+  /// join.prepare_micros.
+  Counters counters;
 };
 
 /// The SpatialSpark prototype: the paper's Fig. 2 pipeline on the Spark
@@ -37,8 +44,11 @@ struct SparkJoinRun {
 class SpatialSparkSystem {
  public:
   /// `fs` must outlive the system. `num_partitions` is the RDD parallelism
-  /// (the tuning knob the paper's §III discussion centers on).
-  SpatialSparkSystem(dfs::SimFileSystem* fs, int num_partitions);
+  /// (the tuning knob the paper's §III discussion centers on). `prepare`
+  /// opts the broadcast index (and the tile joins of PartitionedJoin) into
+  /// prepared-geometry refinement; results are identical either way.
+  SpatialSparkSystem(dfs::SimFileSystem* fs, int num_partitions,
+                     const PrepareOptions& prepare = PrepareOptions());
 
   /// Runs the join; real execution, measured per task.
   Result<SparkJoinRun> Join(const TableInput& left, const TableInput& right,
@@ -64,6 +74,7 @@ class SpatialSparkSystem {
  private:
   dfs::SimFileSystem* fs_;
   int num_partitions_;
+  PrepareOptions prepare_;
 };
 
 }  // namespace cloudjoin::join

@@ -5,6 +5,8 @@
 
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "geom/prepared.h"
+#include "geom/wkt.h"
 #include "geosim/geometry.h"
 #include "geosim/wkt_reader.h"
 #include "index/str_tree.h"
@@ -46,7 +48,8 @@ StandaloneMc::StandaloneMc(dfs::SimFileSystem* fs) : fs_(fs) {
 
 Result<StandaloneRun> StandaloneMc::Join(const TableInput& left,
                                          const TableInput& right,
-                                         const SpatialPredicate& predicate) {
+                                         const SpatialPredicate& predicate,
+                                         const PrepareOptions& prepare) {
   CLOUDJOIN_ASSIGN_OR_RETURN(const dfs::SimFile* left_file,
                              fs_->GetFile(left.path));
   CLOUDJOIN_ASSIGN_OR_RETURN(const dfs::SimFile* right_file,
@@ -58,6 +61,7 @@ Result<StandaloneRun> StandaloneMc::Join(const TableInput& left,
   CpuTimer build_watch;
   std::vector<int64_t> right_ids;
   std::vector<std::string> right_wkt;
+  std::vector<std::unique_ptr<geom::PreparedPolygon>> right_prepared;
   std::vector<index::StrTree::Entry> entries;
   {
     dfs::LineRecordReader lines(right_file->data(), 0, right_file->size());
@@ -86,15 +90,39 @@ Result<StandaloneRun> StandaloneMc::Join(const TableInput& left,
           env, static_cast<int64_t>(right_ids.size())});
       right_ids.push_back(*id);
       right_wkt.emplace_back(fields[right.geometry_column]);
+      if (prepare.enabled) {
+        // Second parse through the flat kernel, but only for polygons
+        // above the vertex threshold, once per right record.
+        std::unique_ptr<geom::PreparedPolygon> prep;
+        const geosim::GeometryTypeId type_id = (*parsed)->getGeometryTypeId();
+        if ((type_id == geosim::GeometryTypeId::kPolygon ||
+             type_id == geosim::GeometryTypeId::kMultiPolygon) &&
+            (*parsed)->getNumPoints() >=
+                static_cast<size_t>(prepare.min_vertices)) {
+          auto flat = geom::ReadWkt(right_wkt.back());
+          if (flat.ok()) {
+            prep = std::make_unique<geom::PreparedPolygon>(
+                std::move(flat).value(), prepare.grid_side);
+          }
+        }
+        right_prepared.push_back(std::move(prep));
+      }
     }
   }
   index::StrTree tree(std::move(entries));
   run.build_seconds = build_watch.ElapsedSeconds();
   run.counters.Add("standalone.right_rows",
                    static_cast<int64_t>(right_ids.size()));
+  int64_t num_prepared = 0;
+  for (const auto& p : right_prepared) num_prepared += p != nullptr ? 1 : 0;
+  if (num_prepared > 0) {
+    run.counters.Add("standalone.prepared_records", num_prepared);
+  }
 
   // ---- Probe phase: one task per left block. ----
   std::vector<int64_t> candidates;
+  int64_t prepared_hits = 0;
+  int64_t boundary_fallbacks = 0;
   for (const dfs::BlockInfo& block : left_file->blocks()) {
     CpuTimer block_watch;
     dfs::LineRecordReader lines(left_file->data(), block.offset, block.length);
@@ -118,18 +146,47 @@ Result<StandaloneRun> StandaloneMc::Join(const TableInput& left,
         continue;
       }
       candidates.clear();
-      tree.Query((*parsed)->getEnvelopeInternal(),
-                 [&candidates](int64_t slot) { candidates.push_back(slot); });
+      tree.VisitQuery(
+          (*parsed)->getEnvelopeInternal(),
+          [&candidates](int64_t slot) { candidates.push_back(slot); });
       run.counters.Add("standalone.candidates",
                        static_cast<int64_t>(candidates.size()));
+      // Prepared fast path: kWithin point probes against prepared right
+      // polygons skip the per-pair WKT re-parse entirely.
+      const geosim::PointImpl* left_point = nullptr;
+      if (!right_prepared.empty() &&
+          predicate.op == SpatialOperator::kWithin &&
+          (*parsed)->getGeometryTypeId() == geosim::GeometryTypeId::kPoint) {
+        left_point = static_cast<const geosim::PointImpl*>(parsed->get());
+      }
       for (int64_t slot : candidates) {
-        if (RefineWkt(left_wkt, right_wkt[static_cast<size_t>(slot)],
-                      predicate)) {
+        bool match = false;
+        const geom::PreparedPolygon* prep =
+            left_point != nullptr
+                ? right_prepared[static_cast<size_t>(slot)].get()
+                : nullptr;
+        if (prep != nullptr) {
+          ++prepared_hits;
+          bool fallback = false;
+          match = prep->Contains(
+              geom::Point{left_point->getX(), left_point->getY()}, &fallback);
+          if (fallback) ++boundary_fallbacks;
+        } else {
+          match = RefineWkt(left_wkt, right_wkt[static_cast<size_t>(slot)],
+                            predicate);
+        }
+        if (match) {
           run.pairs.emplace_back(*id, right_ids[static_cast<size_t>(slot)]);
         }
       }
     }
     run.block_seconds.push_back(block_watch.ElapsedSeconds());
+  }
+  if (prepared_hits > 0) {
+    run.counters.Add("standalone.prepared_hits", prepared_hits);
+  }
+  if (boundary_fallbacks > 0) {
+    run.counters.Add("standalone.boundary_fallbacks", boundary_fallbacks);
   }
   return run;
 }

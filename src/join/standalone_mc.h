@@ -34,8 +34,13 @@ class StandaloneMc {
  public:
   explicit StandaloneMc(dfs::SimFileSystem* fs);
 
+  /// `prepare` opts the build phase into prepared-geometry refinement
+  /// (grids are built inline while streaming the right side, so the pool
+  /// field is ignored); kWithin point probes then skip the per-pair WKT
+  /// re-parse entirely. Results are identical either way.
   Result<StandaloneRun> Join(const TableInput& left, const TableInput& right,
-                             const SpatialPredicate& predicate);
+                             const SpatialPredicate& predicate,
+                             const PrepareOptions& prepare = PrepareOptions());
 
   /// Replays a run on `cluster` (static scheduling, no engine overheads).
   static sim::RunReport Simulate(const StandaloneRun& run,

@@ -116,6 +116,30 @@ TEST_P(StrTreeProperty, WithinDistanceMatchesBruteForce) {
   }
 }
 
+TEST_P(StrTreeProperty, VisitQueryMatchesQuery) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 37);
+  const int n = 50 + static_cast<int>(rng.UniformInt(2000));
+  auto entries = RandomEntries(&rng, n, 1000.0);
+  StrTree tree(entries);
+  for (int trial = 0; trial < 50; ++trial) {
+    double x = rng.Uniform(-100, 1000);
+    double y = rng.Uniform(-100, 1000);
+    double w = rng.Uniform(0, 300);
+    Envelope query(x, y, x + w, y + w);
+    // The statically dispatched visitor fast path must visit exactly the
+    // entries the std::function overload reports, in the same order.
+    std::vector<int64_t> via_function;
+    tree.Query(query, &via_function);
+    std::vector<int64_t> via_visitor;
+    tree.VisitQuery(query, [&via_visitor](int64_t id) {
+      via_visitor.push_back(id);
+    });
+    EXPECT_EQ(via_visitor, via_function);
+    std::set<int64_t> got(via_visitor.begin(), via_visitor.end());
+    EXPECT_EQ(got, BruteQuery(entries, query));
+  }
+}
+
 TEST_P(StrTreeProperty, NearestMatchesBruteForce) {
   Rng rng(static_cast<uint64_t>(GetParam()) * 41);
   auto entries = RandomEntries(&rng, 300, 1000.0);

@@ -163,6 +163,83 @@ TEST_P(JoinOracleProperty, PartitionedNearestDMatchesBroadcast) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JoinOracleProperty, ::testing::Range(1, 9));
 
+TEST_P(JoinOracleProperty, PreparedMatchesExact) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 9293);
+  auto points = RandomPoints(&rng, 300, 1000);
+  auto polys = RandomPolygons(&rng, 60, 1000);
+  auto exact = BroadcastSpatialJoin(points, polys, SpatialPredicate::Within());
+  PrepareOptions prepare = PrepareOptions::Prepared();
+  prepare.min_vertices = 3;  // prepare every polygon in this mix
+  Counters counters;
+  auto prepared = BroadcastSpatialJoin(points, polys,
+                                       SpatialPredicate::Within(), &counters,
+                                       prepare);
+  EXPECT_EQ(prepared, exact);  // identical, order included
+  EXPECT_GT(counters.Get("join.prepared_hits"), 0);
+  EXPECT_LE(counters.Get("join.boundary_fallbacks"),
+            counters.Get("join.prepared_hits"));
+}
+
+TEST_P(JoinOracleProperty, ParallelIsByteIdenticalToSerial) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 12253);
+  auto points = RandomPoints(&rng, 400, 1000);
+  auto polys = RandomPolygons(&rng, 60, 1000);
+  for (const bool prepared : {false, true}) {
+    PrepareOptions prepare;
+    prepare.enabled = prepared;
+    prepare.min_vertices = 3;
+    auto serial = BroadcastSpatialJoin(points, polys,
+                                       SpatialPredicate::Within(), nullptr,
+                                       prepare);
+    for (int threads : {1, 2, 8}) {
+      Counters counters;
+      auto parallel = ParallelBroadcastSpatialJoin(
+          points, polys, SpatialPredicate::Within(), threads, prepare,
+          &counters);
+      // Exact equality (not sorted): the parallel engine must reproduce
+      // the serial left-major output byte for byte at every thread count.
+      EXPECT_EQ(parallel, serial)
+          << "threads=" << threads << " prepared=" << prepared;
+      EXPECT_EQ(counters.Get("join.matches"),
+                static_cast<int64_t>(serial.size()));
+    }
+  }
+}
+
+TEST(BroadcastIndexTest, ProbeBatchMatchesPerProbe) {
+  Rng rng(17);
+  auto points = RandomPoints(&rng, 200, 500);
+  auto polys = RandomPolygons(&rng, 30, 500);
+  BroadcastIndex index(polys, 0.0);
+  Counters per_probe_counters;
+  std::vector<IdPair> per_probe;
+  for (const IdGeometry& p : points) {
+    index.Probe(p, SpatialPredicate::Within(), &per_probe,
+                &per_probe_counters);
+  }
+  Counters batch_counters;
+  std::vector<IdPair> batched;
+  index.ProbeBatch(std::span<const IdGeometry>(points.data(), points.size()),
+                   SpatialPredicate::Within(), &batched, &batch_counters);
+  EXPECT_EQ(batched, per_probe);
+  EXPECT_EQ(batch_counters.Get("join.candidates"),
+            per_probe_counters.Get("join.candidates"));
+  EXPECT_EQ(batch_counters.Get("join.matches"),
+            per_probe_counters.Get("join.matches"));
+}
+
+TEST(BroadcastIndexTest, PreparationRespectsVertexThreshold) {
+  Rng rng(23);
+  auto polys = RandomPolygons(&rng, 40, 500);  // 3-11 vertices each
+  PrepareOptions prepare = PrepareOptions::Prepared();
+  prepare.min_vertices = 1000;
+  BroadcastIndex none(polys, 0.0, prepare);
+  EXPECT_EQ(none.num_prepared(), 0);
+  prepare.min_vertices = 3;
+  BroadcastIndex all(polys, 0.0, prepare);
+  EXPECT_EQ(all.num_prepared(), static_cast<int64_t>(polys.size()));
+}
+
 TEST(SpatialPredicateTest, ToStringAndRadius) {
   EXPECT_STREQ(SpatialOperatorToString(SpatialOperator::kWithin), "Within");
   SpatialPredicate nearest = SpatialPredicate::NearestD(500);

@@ -83,5 +83,80 @@ TEST_P(PreparedProperty, AgreesWithExactTestEverywhere) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PreparedProperty, ::testing::Range(1, 9));
 
+/// Star polygon with a smaller star-shaped hole punched in its middle.
+Geometry StarWithHole(Rng* rng, double cx, double cy, int vertices,
+                      double max_r) {
+  std::vector<Point> shell;
+  std::vector<Point> hole;
+  for (int i = 0; i < vertices; ++i) {
+    double theta = 6.283185307179586 * i / vertices;
+    double r = rng->Uniform(max_r * 0.5, max_r);
+    shell.push_back(Point{cx + r * std::cos(theta), cy + r * std::sin(theta)});
+    double hr = rng->Uniform(max_r * 0.1, max_r * 0.35);
+    hole.push_back(
+        Point{cx + hr * std::cos(theta), cy + hr * std::sin(theta)});
+  }
+  return Geometry::MakePolygon({shell, hole});
+}
+
+class PreparedHoleProperty : public ::testing::TestWithParam<int> {};
+
+/// Parity against the exact test on polygons with holes, with the probe
+/// set deliberately including exact boundary points (ring vertices and
+/// edge midpoints of both shell and hole) — the worst case for a grid
+/// classifier, since every such probe lands in a boundary cell.
+TEST_P(PreparedHoleProperty, AgreesWithExactTestIncludingBoundary) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919);
+  for (int poly_trial = 0; poly_trial < 4; ++poly_trial) {
+    int vertices = 8 + static_cast<int>(rng.UniformInt(120));
+    Geometry poly = StarWithHole(&rng, rng.Uniform(-40, 40),
+                                 rng.Uniform(-40, 40), vertices, 60);
+    int grid = 4 + static_cast<int>(rng.UniformInt(48));
+    PreparedPolygon prepared(poly, grid);
+
+    // Random probes around (and beyond) the polygon.
+    for (int probe = 0; probe < 300; ++probe) {
+      Point p{rng.Uniform(-120, 120), rng.Uniform(-120, 120)};
+      EXPECT_EQ(prepared.Contains(p), PointInPolygon(p, poly))
+          << "random probe at (" << p.x << ", " << p.y << "), grid " << grid;
+    }
+
+    // Exact boundary probes: every ring vertex and edge midpoint.
+    for (int part = 0; part < poly.NumParts(); ++part) {
+      for (int ring = 0; ring < poly.NumRings(part); ++ring) {
+        auto pts = poly.Ring(part, ring);
+        for (size_t i = 0; i + 1 < pts.size(); ++i) {
+          Point mid{(pts[i].x + pts[i + 1].x) / 2,
+                    (pts[i].y + pts[i + 1].y) / 2};
+          for (const Point& p : {pts[i], mid}) {
+            EXPECT_EQ(prepared.Contains(p), PointInPolygon(p, poly))
+                << "boundary probe at (" << p.x << ", " << p.y << "), grid "
+                << grid;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreparedHoleProperty, ::testing::Range(1, 7));
+
+TEST(PreparedPolygonTest, ReportsBoundaryFallback) {
+  Geometry square =
+      Geometry::MakePolygon({{{0, 0}, {10, 0}, {10, 10}, {0, 10}}});
+  PreparedPolygon prepared(square, 8);
+  bool fallback = true;
+  // Deep interior: classified cell, no exact fallback.
+  EXPECT_TRUE(prepared.Contains(Point{5, 5}, &fallback));
+  EXPECT_FALSE(fallback);
+  // On the boundary: must take the exact path.
+  EXPECT_TRUE(prepared.Contains(Point{10, 5}, &fallback));
+  EXPECT_TRUE(fallback);
+  // Outside the envelope entirely: rejected without touching the grid.
+  fallback = true;
+  EXPECT_FALSE(prepared.Contains(Point{20, 20}, &fallback));
+  EXPECT_FALSE(fallback);
+}
+
 }  // namespace
 }  // namespace cloudjoin::geom

@@ -51,12 +51,36 @@ class SystemsTest : public ::testing::Test {
                                           workload.predicate);
     ASSERT_TRUE(standalone_run.ok()) << standalone_run.status();
 
+    // Prepared-refinement variants of each engine must be bit-equal too.
+    SpatialSparkSystem spark_prepared(&fs_, /*num_partitions=*/8,
+                                      PrepareOptions::Prepared());
+    auto spark_prepared_run = spark_prepared.Join(
+        workload.left, workload.right, workload.predicate);
+    ASSERT_TRUE(spark_prepared_run.ok()) << spark_prepared_run.status();
+
+    impala::QueryOptions prepared;
+    prepared.prepare_geometries = true;
+    IspMcSystem isp_prepared(&fs_);
+    auto isp_prepared_run = isp_prepared.Join(
+        workload.left, workload.right, workload.predicate, prepared);
+    ASSERT_TRUE(isp_prepared_run.ok()) << isp_prepared_run.status();
+
+    auto standalone_prepared_run =
+        standalone.Join(workload.left, workload.right, workload.predicate,
+                        PrepareOptions::Prepared());
+    ASSERT_TRUE(standalone_prepared_run.ok())
+        << standalone_prepared_run.status();
+
     auto expected = Sorted(spark_run->pairs);
     EXPECT_FALSE(expected.empty())
         << workload.name << ": degenerate (no matches)";
     EXPECT_EQ(Sorted(isp_run->pairs), expected) << workload.name;
     EXPECT_EQ(Sorted(isp_cached_run->pairs), expected) << workload.name;
     EXPECT_EQ(Sorted(standalone_run->pairs), expected) << workload.name;
+    EXPECT_EQ(Sorted(spark_prepared_run->pairs), expected) << workload.name;
+    EXPECT_EQ(Sorted(isp_prepared_run->pairs), expected) << workload.name;
+    EXPECT_EQ(Sorted(standalone_prepared_run->pairs), expected)
+        << workload.name;
   }
 
   dfs::SimFileSystem fs_;
@@ -86,6 +110,34 @@ TEST_F(SystemsTest, SparkRunRecordsMetrics) {
   for (const auto& stage : run->stages) {
     EXPECT_EQ(stage.task_seconds.size(), 8u);
   }
+}
+
+TEST_F(SystemsTest, SparkRunPopulatesJoinCounters) {
+  // The probe path threads the run's Counters through, so join.* metrics
+  // land in the run and in the simulated RunReport.
+  SpatialSparkSystem spark(&fs_, 8, PrepareOptions::Prepared());
+  auto run = spark.Join(suite_.taxi_nycb.left, suite_.taxi_nycb.right,
+                        suite_.taxi_nycb.predicate);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->counters.Get("join.candidates"), 0);
+  EXPECT_EQ(run->counters.Get("join.matches"),
+            static_cast<int64_t>(run->pairs.size()));
+  EXPECT_GT(run->counters.Get("join.prepared_records"), 0);
+  EXPECT_GT(run->counters.Get("join.prepared_hits"), 0);
+  sim::RunReport report = SpatialSparkSystem::Simulate(
+      *run, sim::ClusterSpec::InHouseSingleNode(), sim::CostModel(),
+      "taxi-nycb");
+  EXPECT_EQ(report.counters.Get("join.candidates"),
+            run->counters.Get("join.candidates"));
+
+  // PartitionedJoin threads the same counters through its tile joins.
+  auto tiled = spark.PartitionedJoin(suite_.taxi_nycb.left,
+                                     suite_.taxi_nycb.right,
+                                     suite_.taxi_nycb.predicate, 4);
+  ASSERT_TRUE(tiled.ok());
+  EXPECT_GT(tiled->counters.Get("join.candidates"), 0);
+  EXPECT_GE(tiled->counters.Get("join.matches"),
+            static_cast<int64_t>(tiled->pairs.size()));
 }
 
 TEST_F(SystemsTest, SimulatedReportsAreConsistent) {
