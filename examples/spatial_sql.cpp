@@ -1,36 +1,41 @@
-// Spatial SQL tour: drives the ISP-MC engine the way an analyst would —
-// EXPLAIN plans, scalar ST_* functions, predicates, spatial joins with
-// extra conjuncts, and aggregation over join results (the paper's Fig. 1
-// interface).
+// Spatial SQL tour: drives the query service the way an analyst's client
+// would — EXPLAIN plans, scalar ST_* functions, predicates, spatial joins
+// with extra conjuncts, and aggregation over join results (the paper's
+// Fig. 1 interface). All queries flow through `server::QueryService`, so
+// the session is admission-controlled and repeated spatial joins against
+// the same right side reuse the cached broadcast index (watch the
+// `cache hit` column and the service stats at exit).
 //
 //   ./spatial_sql
 
 #include <cstdio>
 
+#include "common/histogram.h"
 #include "data/generators.h"
 #include "dfs/sim_file_system.h"
 #include "impala/runtime.h"
-#include "join/isp_mc_system.h"
+#include "server/query_service.h"
 
 using namespace cloudjoin;
 
 namespace {
 
-void RunAndPrint(impala::ImpalaRuntime* runtime, const std::string& sql,
-                 int max_rows = 5) {
+void RunAndPrint(server::QueryService* service, server::Session* session,
+                 const std::string& sql, int max_rows = 5) {
   std::printf("sql> %s\n", sql.c_str());
-  auto result = runtime->Execute(sql);
-  if (!result.ok()) {
-    std::printf("  ERROR: %s\n\n", result.status().ToString().c_str());
+  auto response = service->Execute(session, sql);
+  if (!response.ok()) {
+    std::printf("  ERROR: %s\n\n", response.status().ToString().c_str());
     return;
   }
+  const impala::QueryResult& result = response->result;
   std::printf("  ");
-  for (const auto& name : result->column_names) {
+  for (const auto& name : result.column_names) {
     std::printf("%-18s", name.c_str());
   }
   std::printf("\n");
   int shown = 0;
-  for (const impala::Row& row : result->rows) {
+  for (const impala::Row& row : result.rows) {
     if (shown++ >= max_rows) break;
     std::printf("  ");
     for (const impala::Value& v : row) {
@@ -40,10 +45,13 @@ void RunAndPrint(impala::ImpalaRuntime* runtime, const std::string& sql,
     }
     std::printf("\n");
   }
-  if (static_cast<int>(result->rows.size()) > max_rows) {
-    std::printf("  ... (%zu rows total)\n", result->rows.size());
+  if (static_cast<int>(result.rows.size()) > max_rows) {
+    std::printf("  ... (%zu rows total)\n", result.rows.size());
   }
-  std::printf("\n");
+  std::printf("  [query %lld: %s%s]\n\n",
+              static_cast<long long>(response->query_id),
+              FormatDuration(response->total_seconds).c_str(),
+              response->index_cache_hit ? ", broadcast-index cache hit" : "");
 }
 
 }  // namespace
@@ -55,49 +63,53 @@ int main() {
   CLOUDJOIN_CHECK_OK(fs.WriteTextFile("/data/nycb.tsv",
                                       data::GenerateCensusBlocks(30, 30, 52)));
 
-  join::IspMcSystem isp(&fs);
+  server::QueryService service(&fs);
   CLOUDJOIN_CHECK_OK(
-      isp.RegisterTable("taxi", {"/data/taxi.tsv", '\t', 0, 1}).status());
+      service.RegisterTable("taxi", {"/data/taxi.tsv", '\t', 0, 1}).status());
   CLOUDJOIN_CHECK_OK(
-      isp.RegisterTable("nycb", {"/data/nycb.tsv", '\t', 0, 1}).status());
-  impala::ImpalaRuntime* runtime = isp.runtime();
+      service.RegisterTable("nycb", {"/data/nycb.tsv", '\t', 0, 1}).status());
+  server::Session* session = service.CreateSession();
 
   // The paper's Fig. 1 query, explained then executed.
   const std::string fig1 =
       "SELECT taxi.id, nycb.id FROM taxi SPATIAL JOIN nycb "
       "WHERE ST_WITHIN(taxi.geom, nycb.geom)";
-  auto explain = runtime->Explain(fig1);
+  auto explain = service.system()->runtime()->Explain(fig1);
   CLOUDJOIN_CHECK(explain.ok());
   std::printf("sql> EXPLAIN %s\n%s\n", fig1.c_str(), explain->c_str());
-  RunAndPrint(runtime, fig1, 3);
+  RunAndPrint(&service, session, fig1, 3);
 
-  RunAndPrint(runtime, "SELECT COUNT(*) FROM taxi");
-  RunAndPrint(runtime,
+  RunAndPrint(&service, session, "SELECT COUNT(*) FROM taxi");
+  RunAndPrint(&service, session,
               "SELECT id, ST_X(geom) AS x, ST_Y(geom) AS y FROM taxi "
               "WHERE id < 3");
-  RunAndPrint(runtime,
+  RunAndPrint(&service, session,
               "SELECT COUNT(*) AS close_to_center FROM taxi WHERE "
               "ST_DISTANCE(geom, 'POINT (990000 200000)') < 20000");
-  RunAndPrint(runtime,
+  // The joins below reuse the broadcast index the Fig. 1 query built.
+  RunAndPrint(&service, session,
               "SELECT nycb.c2, COUNT(*) AS pickups FROM taxi SPATIAL JOIN "
               "nycb WHERE ST_WITHIN(taxi.geom, nycb.geom) "
               "GROUP BY nycb.c2 LIMIT 8");
-  RunAndPrint(runtime,
+  RunAndPrint(&service, session,
               "SELECT taxi.id, nycb.id FROM taxi SPATIAL JOIN nycb "
               "WHERE ST_WITHIN(taxi.geom, nycb.geom) AND taxi.c2 > '4' "
               "LIMIT 5");
   // Top-N analytics: busiest census blocks straight from SQL.
-  RunAndPrint(runtime,
+  RunAndPrint(&service, session,
               "SELECT nycb.id, COUNT(*) AS pickups FROM taxi SPATIAL JOIN "
               "nycb WHERE ST_WITHIN(taxi.geom, nycb.geom) GROUP BY nycb.id "
               "HAVING COUNT(*) > 10 ORDER BY COUNT(*) DESC LIMIT 5");
   // Distinct passenger-count values per block zone label.
-  RunAndPrint(runtime,
+  RunAndPrint(&service, session,
               "SELECT nycb.c2, COUNT(DISTINCT taxi.c2) AS pax_kinds "
               "FROM taxi SPATIAL JOIN nycb "
               "WHERE ST_WITHIN(taxi.geom, nycb.geom) GROUP BY nycb.c2 "
               "ORDER BY nycb.c2 LIMIT 5");
   // Error handling is part of the interface too.
-  RunAndPrint(runtime, "SELECT missing_column FROM taxi");
+  RunAndPrint(&service, session, "SELECT missing_column FROM taxi");
+
+  std::printf("--- service stats at exit ---\n%s\n",
+              service.GetStats().ToString().c_str());
   return 0;
 }

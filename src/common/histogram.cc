@@ -1,0 +1,89 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace cloudjoin {
+
+std::string FormatDuration(double seconds) {
+  char buf[32];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.0fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  }
+  return buf;
+}
+
+int LatencyHistogram::BucketFor(double seconds) {
+  if (seconds <= kMinSeconds) return 0;
+  int bucket = static_cast<int>(
+                   std::ceil(std::log(seconds / kMinSeconds) /
+                             std::log(kGrowth))) ;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (data_.count == 0 || seconds < data_.min_seconds) {
+    data_.min_seconds = seconds;
+  }
+  if (seconds > data_.max_seconds) data_.max_seconds = seconds;
+  ++data_.count;
+  data_.sum_seconds += seconds;
+  ++data_.buckets[static_cast<size_t>(BucketFor(seconds))];
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  Snapshot theirs = other.TakeSnapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (theirs.count != 0) {
+    if (data_.count == 0 || theirs.min_seconds < data_.min_seconds) {
+      data_.min_seconds = theirs.min_seconds;
+    }
+    data_.max_seconds = std::max(data_.max_seconds, theirs.max_seconds);
+  }
+  data_.count += theirs.count;
+  data_.sum_seconds += theirs.sum_seconds;
+  for (int i = 0; i < kNumBuckets; ++i) data_.buckets[i] += theirs.buckets[i];
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_;
+}
+
+double LatencyHistogram::Snapshot::PercentileSeconds(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the quantile sample, 1-based (nearest-rank definition).
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count))));
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      // Upper bound of bucket i, clamped into the observed range.
+      const double bound = kMinSeconds * std::pow(kGrowth, i);
+      return std::clamp(bound, min_seconds, max_seconds);
+    }
+  }
+  return max_seconds;
+}
+
+std::string LatencyHistogram::Snapshot::ToString() const {
+  std::string out = "n=" + std::to_string(count);
+  if (count == 0) return out;
+  out += " mean=" + FormatDuration(MeanSeconds());
+  out += " p50=" + FormatDuration(PercentileSeconds(0.50));
+  out += " p95=" + FormatDuration(PercentileSeconds(0.95));
+  out += " p99=" + FormatDuration(PercentileSeconds(0.99));
+  out += " max=" + FormatDuration(max_seconds);
+  return out;
+}
+
+}  // namespace cloudjoin

@@ -50,6 +50,15 @@ class PreparedPolygon {
   /// is faster).
   double BoundaryCellFraction() const;
 
+  /// Approximate resident size: the cell grid plus the copied polygon.
+  /// Feeds the serving tier's cache memory accounting.
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(sizeof(*this)) +
+           static_cast<int64_t>(cells_.size() * sizeof(CellState)) +
+           static_cast<int64_t>(polygon_.NumCoords()) *
+               static_cast<int64_t>(sizeof(Point));
+  }
+
  private:
   enum class CellState : uint8_t { kOutside = 0, kInside = 1, kBoundary = 2 };
 

@@ -14,8 +14,15 @@ Status Catalog::RegisterTable(TableDef table) {
   if (table.columns.empty()) {
     return Status::InvalidArgument("table '" + table.name + "' has no columns");
   }
+  ++generation_;
+  ++table_generations_[table.name];
   tables_[table.name] = std::move(table);
   return Status::OK();
+}
+
+int64_t Catalog::TableGeneration(const std::string& table_name) const {
+  auto it = table_generations_.find(table_name);
+  return it == table_generations_.end() ? 0 : it->second;
 }
 
 Result<const TableDef*> Catalog::GetTable(const std::string& name) const {

@@ -30,6 +30,11 @@ struct TableDef {
 
 /// Table registry (stand-in for the Hive metastore the Impala frontend
 /// consults during planning).
+///
+/// Every successful mutation bumps a catalog-wide generation and the
+/// per-table generation of the affected table; the serving layer folds
+/// the table generation into its broadcast-index cache keys so entries
+/// built against a replaced definition can never be served again.
 class Catalog {
  public:
   /// Registers (or replaces) a table definition.
@@ -40,8 +45,17 @@ class Catalog {
 
   std::vector<std::string> ListTables() const;
 
+  /// Monotonic change counter for `table_name`: 0 if never registered,
+  /// bumped every time a definition under that name is (re)registered.
+  int64_t TableGeneration(const std::string& table_name) const;
+
+  /// Monotonic counter bumped on every catalog mutation.
+  int64_t generation() const { return generation_; }
+
  private:
   std::map<std::string, TableDef> tables_;
+  std::map<std::string, int64_t> table_generations_;
+  int64_t generation_ = 0;
 };
 
 }  // namespace cloudjoin::impala

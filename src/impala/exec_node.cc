@@ -189,6 +189,27 @@ Result<std::unique_ptr<BroadcastRight>> BuildBroadcastRight(
   return right;
 }
 
+int64_t BroadcastRight::MemoryBytes() const {
+  int64_t total = static_cast<int64_t>(sizeof(*this));
+  for (const Row& row : rows) {
+    total += static_cast<int64_t>(sizeof(Row)) + RowBytes(row);
+  }
+  for (const std::string& s : wkt) {
+    total += static_cast<int64_t>(sizeof(std::string) + s.capacity());
+  }
+  if (tree != nullptr) total += tree->MemoryBytes();
+  for (const auto& g : parsed) {
+    // Heap coordinate sequence plus virtual-object overhead.
+    if (g != nullptr) {
+      total += 64 + static_cast<int64_t>(g->getNumPoints()) * 24;
+    }
+  }
+  for (const auto& p : prepared) {
+    if (p != nullptr) total += p->MemoryBytes();
+  }
+  return total;
+}
+
 // --------------------------------------------------------- SpatialJoin ----
 
 SpatialJoinNode::SpatialJoinNode(

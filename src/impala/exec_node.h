@@ -84,6 +84,12 @@ struct BroadcastRight {
   int64_t bytes = 0;
   /// Measured wall-clock to scan + parse + index the right side once.
   double build_seconds = 0.0;
+
+  /// Approximate resident size of the whole structure (rows + WKT + tree +
+  /// cached parses + prepared grids) — what the serving tier's index cache
+  /// charges against its memory budget. Contrast with `bytes`, the
+  /// serialized payload the network broadcast ships.
+  int64_t MemoryBytes() const;
 };
 
 /// Builds the broadcast structure by scanning the whole right table.

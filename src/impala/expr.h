@@ -27,6 +27,12 @@ class Expr {
     (void)out;
   }
 
+  /// Canonical rendering: equal strings <=> equal expression trees (slots
+  /// render positionally, so the text is stable across alias names). The
+  /// serving layer fingerprints pushed-down filters with this to key its
+  /// broadcast-index cache.
+  virtual std::string ToString() const = 0;
+
   /// Evaluates to a non-null true boolean?
   bool EvaluatesTrue(const Row* left, const Row* right) const {
     Value v = Evaluate(left, right);
@@ -43,6 +49,15 @@ class LiteralExpr final : public Expr {
 
   Value Evaluate(const Row*, const Row*) const override { return value_; }
   ColumnType type() const override { return type_; }
+
+  std::string ToString() const override {
+    // Strings are quoted so e.g. the literal 3 and the literal '3' render
+    // differently.
+    if (const auto* s = std::get_if<std::string>(&value_)) {
+      return "'" + *s + "'";
+    }
+    return ValueToString(value_);
+  }
 
  private:
   Value value_;
@@ -71,6 +86,10 @@ class SlotRef final : public Expr {
     out->emplace_back(side_, slot_);
   }
 
+  std::string ToString() const override {
+    return (side_ == 0 ? "l[" : "r[") + std::to_string(slot_) + "]";
+  }
+
  private:
   int side_;
   int slot_;
@@ -89,6 +108,10 @@ class BinaryExpr final : public Expr {
   void CollectSlots(std::vector<std::pair<int, int>>* out) const override {
     lhs_->CollectSlots(out);
     rhs_->CollectSlots(out);
+  }
+
+  std::string ToString() const override {
+    return "(" + lhs_->ToString() + " " + op_ + " " + rhs_->ToString() + ")";
   }
 
  private:
@@ -146,6 +169,15 @@ class FunctionCallExpr final : public Expr {
 
   void CollectSlots(std::vector<std::pair<int, int>>* out) const override {
     for (const auto& arg : args_) arg->CollectSlots(out);
+  }
+
+  std::string ToString() const override {
+    std::string out = udf_->name + "(";
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += args_[i]->ToString();
+    }
+    return out + ")";
   }
 
  private:

@@ -1,6 +1,7 @@
 #include "impala/runtime.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 #include <map>
 #include <set>
@@ -84,6 +85,24 @@ struct AggState {
 
 }  // namespace
 
+std::string BroadcastFingerprint::Key() const {
+  char radius_buf[48];
+  std::snprintf(radius_buf, sizeof(radius_buf), "%.17g", radius);
+  std::string key = "sql|" + table_name;
+  key += "|gen=" + std::to_string(catalog_generation);
+  key += "|path=" + dfs_path;
+  key += "|size=" + std::to_string(file_size);
+  key += "|geom=" + std::to_string(geom_slot);
+  key += "|radius=";
+  key += radius_buf;
+  key += "|need=" + needed_slots;
+  if (cache_parsed) key += "|parsed";
+  if (prepare_geometries) key += "|prepgrid";
+  // Free-form text goes last so the fixed fields parse unambiguously.
+  key += "|filters=" + right_filters;
+  return key;
+}
+
 ImpalaRuntime::ImpalaRuntime(dfs::SimFileSystem* fs, Catalog catalog)
     : fs_(fs), catalog_(std::move(catalog)) {
   CLOUDJOIN_CHECK(fs != nullptr);
@@ -165,8 +184,9 @@ Result<QueryResult> ImpalaRuntime::Execute(const std::string& sql,
     }
   }
 
-  // ---- Broadcast build (right side), once per query. ----
-  std::unique_ptr<BroadcastRight> right;
+  // ---- Broadcast build (right side), once per query — or resolved from
+  // a serving-layer provider that retains builds across queries. ----
+  std::shared_ptr<const BroadcastRight> right;
   if (query->join_kind != JoinKind::kNone) {
     CLOUDJOIN_ASSIGN_OR_RETURN(const dfs::SimFile* right_file,
                                fs_->GetFile(query->right_table->dfs_path));
@@ -179,15 +199,52 @@ Result<QueryResult> ImpalaRuntime::Execute(const std::string& sql,
         radius = query->spatial_join->distance;
       }
     }
-    CLOUDJOIN_ASSIGN_OR_RETURN(
-        right, BuildBroadcastRight(query->right_table, right_file,
-                                   &query->right_filters, &right_needed,
-                                   geom_slot, radius,
-                                   options.cache_parsed_geometries,
-                                   options.prepare_geometries,
-                                   &result.metrics.counters));
-    result.metrics.right_build_seconds = right->build_seconds;
-    result.metrics.broadcast_bytes = right->bytes;
+    auto build = [&]() -> Result<std::shared_ptr<const BroadcastRight>> {
+      CLOUDJOIN_ASSIGN_OR_RETURN(
+          std::unique_ptr<BroadcastRight> built,
+          BuildBroadcastRight(query->right_table, right_file,
+                              &query->right_filters, &right_needed, geom_slot,
+                              radius, options.cache_parsed_geometries,
+                              options.prepare_geometries,
+                              &result.metrics.counters));
+      return std::shared_ptr<const BroadcastRight>(std::move(built));
+    };
+    bool cache_hit = false;
+    if (options.broadcast_provider != nullptr) {
+      BroadcastFingerprint fingerprint;
+      fingerprint.table_name = query->right_table->name;
+      fingerprint.catalog_generation =
+          catalog_.TableGeneration(query->right_table->name);
+      fingerprint.dfs_path = query->right_table->dfs_path;
+      fingerprint.file_size = right_file->size();
+      for (size_t i = 0; i < query->right_filters.size(); ++i) {
+        if (i > 0) fingerprint.right_filters += " AND ";
+        fingerprint.right_filters += query->right_filters[i]->ToString();
+      }
+      fingerprint.needed_slots.reserve(right_needed.size());
+      for (bool needed : right_needed) {
+        fingerprint.needed_slots += needed ? '1' : '0';
+      }
+      fingerprint.geom_slot = geom_slot;
+      fingerprint.radius = radius;
+      fingerprint.cache_parsed = options.cache_parsed_geometries;
+      fingerprint.prepare_geometries = options.prepare_geometries;
+      CLOUDJOIN_ASSIGN_OR_RETURN(
+          right, options.broadcast_provider->GetOrBuild(fingerprint, build,
+                                                        &cache_hit));
+    } else {
+      CLOUDJOIN_ASSIGN_OR_RETURN(right, build());
+    }
+    if (cache_hit) {
+      // The probe side reuses an index built by an earlier query: no build
+      // on this query's critical path and nothing new to broadcast.
+      result.metrics.right_build_seconds = 0.0;
+      result.metrics.broadcast_bytes = 0;
+      result.metrics.counters.Add("join.index_cache_hit", 1);
+    } else {
+      result.metrics.right_build_seconds = right->build_seconds;
+      result.metrics.broadcast_bytes = right->bytes;
+    }
   }
 
   // ---- Backend: one fragment instance per left scan range. ----

@@ -1,6 +1,7 @@
 #ifndef CLOUDJOIN_IMPALA_RUNTIME_H_
 #define CLOUDJOIN_IMPALA_RUNTIME_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +13,56 @@
 #include "impala/types.h"
 
 namespace cloudjoin::impala {
+
+struct BroadcastRight;
+
+/// Canonical identity of one broadcast right-side build: everything
+/// `BuildBroadcastRight` consumes that can change its output. Two queries
+/// with equal keys would build byte-identical broadcast structures, so a
+/// serving layer may hand the second query the first one's build.
+struct BroadcastFingerprint {
+  std::string table_name;
+  /// Catalog generation of the table at plan time — bumped whenever the
+  /// definition is (re)registered, so entries built against a replaced
+  /// table can never match again.
+  int64_t catalog_generation = 0;
+  std::string dfs_path;
+  /// Size of the backing file (proxy for its content version).
+  int64_t file_size = 0;
+  /// " AND "-joined canonical renderings of the pushed-down right filters.
+  std::string right_filters;
+  /// Needed-column bitmask ('1'/'0' per slot): projection pushdown means
+  /// two queries touching different right columns materialize different
+  /// rows.
+  std::string needed_slots;
+  int geom_slot = -1;
+  double radius = 0.0;
+  bool cache_parsed = false;
+  bool prepare_geometries = false;
+
+  /// Canonical cache-key rendering (injective over the fields above).
+  std::string Key() const;
+};
+
+/// Serving-layer hook: resolves a broadcast build by fingerprint, building
+/// through `build` on a miss. Implementations (e.g. the server module's
+/// index cache) decide retention; the runtime only promises that `build`
+/// produces the structure `fingerprint` describes. Must be thread-safe —
+/// one provider is shared by all concurrent queries of a service.
+class BroadcastProvider {
+ public:
+  using Builder =
+      std::function<Result<std::shared_ptr<const BroadcastRight>>()>;
+
+  virtual ~BroadcastProvider() = default;
+
+  /// Returns the broadcast structure for `fingerprint`, invoking `build`
+  /// (at most once per call) on a miss. Sets `*cache_hit` to true iff the
+  /// returned structure was built by an earlier query.
+  virtual Result<std::shared_ptr<const BroadcastRight>> GetOrBuild(
+      const BroadcastFingerprint& fingerprint, const Builder& build,
+      bool* cache_hit) = 0;
+};
 
 /// Per-query execution knobs.
 struct QueryOptions {
@@ -26,6 +77,12 @@ struct QueryOptions {
   /// probes then refine in O(1) outside boundary cells (exact fallback
   /// inside them). Results are identical either way. Off by default.
   bool prepare_geometries = false;
+  /// Optional (not owned; may be shared across queries): when set, the
+  /// broadcast right side is resolved through this provider instead of
+  /// being rebuilt inline. On a provider hit the query reports
+  /// `right_build_seconds = 0`, `broadcast_bytes = 0` (the index is
+  /// already resident), and a `join.index_cache_hit` counter.
+  BroadcastProvider* broadcast_provider = nullptr;
 };
 
 /// Measured timing of one left-table scan range (≈ one plan-fragment

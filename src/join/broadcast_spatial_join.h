@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -52,6 +53,15 @@ struct PrepareOptions {
     options.enabled = true;
     options.pool = pool;
     return options;
+  }
+
+  /// Canonical rendering of the result-relevant build knobs (the pool only
+  /// affects build wall-clock, never the built structure, so it is not
+  /// part of the fingerprint). Serving-layer cache keys embed this.
+  std::string Fingerprint() const {
+    if (!enabled) return "exact";
+    return "prepared:minv=" + std::to_string(min_vertices) +
+           ":grid=" + std::to_string(grid_side);
   }
 };
 

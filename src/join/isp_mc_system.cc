@@ -16,6 +16,8 @@ int CountColumns(const dfs::SimFile* file, char separator) {
   return static_cast<int>(StrSplit(line, separator).size());
 }
 
+}  // namespace
+
 std::string PredicateSql(const SpatialPredicate& predicate,
                          const std::string& left_name,
                          const std::string& right_name) {
@@ -34,8 +36,6 @@ std::string PredicateSql(const SpatialPredicate& predicate,
   }
   return "";
 }
-
-}  // namespace
 
 IspMcSystem::IspMcSystem(dfs::SimFileSystem* fs)
     : fs_(fs), runtime_(fs, impala::Catalog()) {

@@ -17,6 +17,14 @@
 
 namespace cloudjoin::join {
 
+/// Renders `predicate` as the ST_* WHERE clause of the paper's Fig. 1
+/// query over `<left_name>.geom` / `<right_name>.geom` (e.g.
+/// "ST_WITHIN(lt.geom, rt.geom)"). Exposed so serving-layer clients can
+/// build workload SQL without duplicating the rendering.
+std::string PredicateSql(const SpatialPredicate& predicate,
+                         const std::string& left_name,
+                         const std::string& right_name);
+
 /// One ISP-MC join run: matches plus the engine metrics needed to replay
 /// it on a simulated cluster under static scheduling.
 struct IspMcJoinRun {

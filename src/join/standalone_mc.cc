@@ -42,26 +42,32 @@ bool RefineWkt(const std::string& left_wkt, const std::string& right_wkt,
 
 }  // namespace
 
+int64_t StandaloneRight::MemoryBytes() const {
+  int64_t total = static_cast<int64_t>(sizeof(*this)) +
+                  static_cast<int64_t>(ids.size() * sizeof(int64_t));
+  for (const std::string& s : wkt) {
+    total += static_cast<int64_t>(sizeof(std::string) + s.capacity());
+  }
+  for (const auto& p : prepared) {
+    if (p != nullptr) total += p->MemoryBytes();
+  }
+  if (tree != nullptr) total += tree->MemoryBytes();
+  return total;
+}
+
 StandaloneMc::StandaloneMc(dfs::SimFileSystem* fs) : fs_(fs) {
   CLOUDJOIN_CHECK(fs != nullptr);
 }
 
-Result<StandaloneRun> StandaloneMc::Join(const TableInput& left,
-                                         const TableInput& right,
-                                         const SpatialPredicate& predicate,
-                                         const PrepareOptions& prepare) {
-  CLOUDJOIN_ASSIGN_OR_RETURN(const dfs::SimFile* left_file,
-                             fs_->GetFile(left.path));
+Result<std::shared_ptr<const StandaloneRight>> StandaloneMc::BuildRight(
+    const TableInput& right, const SpatialPredicate& predicate,
+    const PrepareOptions& prepare, Counters* counters) {
   CLOUDJOIN_ASSIGN_OR_RETURN(const dfs::SimFile* right_file,
                              fs_->GetFile(right.path));
-  StandaloneRun run;
   geosim::WKTReader reader(&Factory());
+  auto built = std::make_shared<StandaloneRight>();
 
-  // ---- Build phase: scan + parse + index the right side. ----
   CpuTimer build_watch;
-  std::vector<int64_t> right_ids;
-  std::vector<std::string> right_wkt;
-  std::vector<std::unique_ptr<geom::PreparedPolygon>> right_prepared;
   std::vector<index::StrTree::Entry> entries;
   {
     dfs::LineRecordReader lines(right_file->data(), 0, right_file->size());
@@ -71,25 +77,25 @@ Result<StandaloneRun> StandaloneMc::Join(const TableInput& left,
       std::vector<std::string_view> fields = StrSplit(line, right.separator);
       if (static_cast<int>(fields.size()) <= right.geometry_column ||
           static_cast<int>(fields.size()) <= right.id_column) {
-        run.counters.Add("standalone.right_malformed", 1);
+        if (counters != nullptr) counters->Add("standalone.right_malformed", 1);
         continue;
       }
       auto id = ParseInt64(fields[right.id_column]);
       if (!id.ok()) {
-        run.counters.Add("standalone.right_malformed", 1);
+        if (counters != nullptr) counters->Add("standalone.right_malformed", 1);
         continue;
       }
       auto parsed = reader.read(fields[right.geometry_column]);
       if (!parsed.ok()) {
-        run.counters.Add("standalone.right_bad_geom", 1);
+        if (counters != nullptr) counters->Add("standalone.right_bad_geom", 1);
         continue;
       }
       geom::Envelope env = (*parsed)->getEnvelopeInternal();
       env.ExpandBy(radius);
       entries.push_back(index::StrTree::Entry{
-          env, static_cast<int64_t>(right_ids.size())});
-      right_ids.push_back(*id);
-      right_wkt.emplace_back(fields[right.geometry_column]);
+          env, static_cast<int64_t>(built->ids.size())});
+      built->ids.push_back(*id);
+      built->wkt.emplace_back(fields[right.geometry_column]);
       if (prepare.enabled) {
         // Second parse through the flat kernel, but only for polygons
         // above the vertex threshold, once per right record.
@@ -99,25 +105,55 @@ Result<StandaloneRun> StandaloneMc::Join(const TableInput& left,
              type_id == geosim::GeometryTypeId::kMultiPolygon) &&
             (*parsed)->getNumPoints() >=
                 static_cast<size_t>(prepare.min_vertices)) {
-          auto flat = geom::ReadWkt(right_wkt.back());
+          auto flat = geom::ReadWkt(built->wkt.back());
           if (flat.ok()) {
             prep = std::make_unique<geom::PreparedPolygon>(
                 std::move(flat).value(), prepare.grid_side);
           }
         }
-        right_prepared.push_back(std::move(prep));
+        built->prepared.push_back(std::move(prep));
       }
     }
   }
-  index::StrTree tree(std::move(entries));
-  run.build_seconds = build_watch.ElapsedSeconds();
-  run.counters.Add("standalone.right_rows",
-                   static_cast<int64_t>(right_ids.size()));
-  int64_t num_prepared = 0;
-  for (const auto& p : right_prepared) num_prepared += p != nullptr ? 1 : 0;
-  if (num_prepared > 0) {
-    run.counters.Add("standalone.prepared_records", num_prepared);
+  built->tree = std::make_unique<index::StrTree>(std::move(entries));
+  built->build_seconds = build_watch.ElapsedSeconds();
+  if (counters != nullptr) {
+    counters->Add("standalone.right_rows",
+                  static_cast<int64_t>(built->ids.size()));
+    int64_t num_prepared = 0;
+    for (const auto& p : built->prepared) num_prepared += p != nullptr ? 1 : 0;
+    if (num_prepared > 0) {
+      counters->Add("standalone.prepared_records", num_prepared);
+    }
   }
+  return std::shared_ptr<const StandaloneRight>(std::move(built));
+}
+
+Result<StandaloneRun> StandaloneMc::Join(
+    const TableInput& left, const TableInput& right,
+    const SpatialPredicate& predicate, const PrepareOptions& prepare,
+    std::shared_ptr<const StandaloneRight> prebuilt) {
+  CLOUDJOIN_ASSIGN_OR_RETURN(const dfs::SimFile* left_file,
+                             fs_->GetFile(left.path));
+  StandaloneRun run;
+  geosim::WKTReader reader(&Factory());
+
+  // ---- Build phase: scan + parse + index the right side — unless a
+  // retained artifact is injected, in which case the build is free. ----
+  std::shared_ptr<const StandaloneRight> side = std::move(prebuilt);
+  if (side == nullptr) {
+    CLOUDJOIN_ASSIGN_OR_RETURN(
+        side, BuildRight(right, predicate, prepare, &run.counters));
+    run.build_seconds = side->build_seconds;
+  } else {
+    run.build_seconds = 0.0;
+    run.counters.Add("join.index_cache_hit", 1);
+  }
+  const std::vector<int64_t>& right_ids = side->ids;
+  const std::vector<std::string>& right_wkt = side->wkt;
+  const std::vector<std::unique_ptr<geom::PreparedPolygon>>& right_prepared =
+      side->prepared;
+  const index::StrTree& tree = *side->tree;
 
   // ---- Probe phase: one task per left block. ----
   std::vector<int64_t> candidates;

@@ -1,11 +1,15 @@
 #ifndef CLOUDJOIN_JOIN_STANDALONE_MC_H_
 #define CLOUDJOIN_JOIN_STANDALONE_MC_H_
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/counters.h"
 #include "common/result.h"
 #include "dfs/sim_file_system.h"
+#include "geom/prepared.h"
+#include "index/str_tree.h"
 #include "join/broadcast_spatial_join.h"
 #include "join/spatial_predicate.h"
 #include "join/table_input.h"
@@ -24,6 +28,23 @@ struct StandaloneRun {
   Counters counters;
 };
 
+/// The reusable build artifact of one standalone right side — everything
+/// the probe phase reads. Build once, probe from anywhere (probe access is
+/// const and thread-safe), so a serving layer can retain it across runs.
+struct StandaloneRight {
+  std::vector<int64_t> ids;
+  std::vector<std::string> wkt;
+  /// Slot-aligned with ids; empty when preparation is disabled.
+  std::vector<std::unique_ptr<geom::PreparedPolygon>> prepared;
+  std::unique_ptr<index::StrTree> tree;
+  /// Measured wall-clock of the build that produced this artifact.
+  double build_seconds = 0.0;
+
+  /// Approximate resident size (ids + WKT + grids + tree), for cache
+  /// memory accounting.
+  int64_t MemoryBytes() const;
+};
+
 /// The paper's "standalone version of ISP-MC": the identical join logic —
 /// GEOS-role geometry, per-pair WKT re-parsing in refinement, R-tree
 /// filtering — with every Impala layer (SQL frontend, plan, row batches,
@@ -34,13 +55,28 @@ class StandaloneMc {
  public:
   explicit StandaloneMc(dfs::SimFileSystem* fs);
 
+  /// Scans + parses + indexes the right side once (the build phase of
+  /// `Join`, extracted so the artifact can be retained and re-injected).
+  /// `counters` (optional) receives the standalone.right_* build counters.
+  Result<std::shared_ptr<const StandaloneRight>> BuildRight(
+      const TableInput& right, const SpatialPredicate& predicate,
+      const PrepareOptions& prepare = PrepareOptions(),
+      Counters* counters = nullptr);
+
   /// `prepare` opts the build phase into prepared-geometry refinement
   /// (grids are built inline while streaming the right side, so the pool
   /// field is ignored); kWithin point probes then skip the per-pair WKT
   /// re-parse entirely. Results are identical either way.
-  Result<StandaloneRun> Join(const TableInput& left, const TableInput& right,
-                             const SpatialPredicate& predicate,
-                             const PrepareOptions& prepare = PrepareOptions());
+  ///
+  /// `prebuilt` (optional) injects a prior `BuildRight` artifact for the
+  /// same (right, predicate, prepare) triple: the build phase is skipped,
+  /// `run.build_seconds` reports 0, and a `join.index_cache_hit` counter
+  /// is recorded. Results are byte-identical to a rebuilding run.
+  Result<StandaloneRun> Join(
+      const TableInput& left, const TableInput& right,
+      const SpatialPredicate& predicate,
+      const PrepareOptions& prepare = PrepareOptions(),
+      std::shared_ptr<const StandaloneRight> prebuilt = nullptr);
 
   /// Replays a run on `cluster` (static scheduling, no engine overheads).
   static sim::RunReport Simulate(const StandaloneRun& run,

@@ -1,0 +1,127 @@
+#include "server/admission_controller.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace cloudjoin::server {
+
+AdmissionController::Ticket& AdmissionController::Ticket::operator=(
+    Ticket&& other) noexcept {
+  if (this != &other) {
+    Release();
+    controller_ = other.controller_;
+    bytes_ = other.bytes_;
+    other.controller_ = nullptr;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ != nullptr) {
+    controller_->Release(bytes_);
+    controller_ = nullptr;
+    bytes_ = 0;
+  }
+}
+
+AdmissionController::AdmissionController(const Options& options)
+    : options_(options) {
+  CLOUDJOIN_CHECK(options_.max_concurrent >= 1);
+  CLOUDJOIN_CHECK(options_.max_queue >= 0);
+}
+
+bool AdmissionController::FitsLocked(int64_t bytes) const {
+  if (running_ >= options_.max_concurrent) return false;
+  if (options_.memory_budget_bytes > 0 &&
+      reserved_bytes_ + bytes > options_.memory_budget_bytes) {
+    return false;
+  }
+  return true;
+}
+
+void AdmissionController::PumpLocked() {
+  bool woke_any = false;
+  while (!queue_.empty() && FitsLocked(queue_.front()->bytes)) {
+    Waiter* w = queue_.front();
+    queue_.pop_front();
+    w->admitted = true;
+    ++running_;
+    reserved_bytes_ += w->bytes;
+    stats_.peak_running = std::max<int64_t>(stats_.peak_running, running_);
+    woke_any = true;
+  }
+  if (woke_any) cv_.notify_all();
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit(
+    int64_t memory_bytes) {
+  CLOUDJOIN_CHECK(memory_bytes >= 0);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.memory_budget_bytes > 0 &&
+      memory_bytes > options_.memory_budget_bytes) {
+    ++stats_.rejected_oversize;
+    return Status::ResourceExhausted(
+        "query declares " + std::to_string(memory_bytes) +
+        " bytes, above the whole admission budget of " +
+        std::to_string(options_.memory_budget_bytes));
+  }
+  // Fast path: nothing queued ahead of us and capacity is free.
+  if (queue_.empty() && FitsLocked(memory_bytes)) {
+    ++running_;
+    reserved_bytes_ += memory_bytes;
+    stats_.peak_running = std::max<int64_t>(stats_.peak_running, running_);
+    ++stats_.admitted_immediately;
+    return Ticket(this, memory_bytes);
+  }
+  if (static_cast<int>(queue_.size()) >= options_.max_queue) {
+    ++stats_.rejected_queue_full;
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(queue_.size()) +
+        " waiting, " + std::to_string(running_) + " running)");
+  }
+  Waiter waiter;
+  waiter.bytes = memory_bytes;
+  queue_.push_back(&waiter);
+  const auto timeout = std::chrono::duration<double>(
+      std::max(0.0, options_.queue_timeout_seconds));
+  cv_.wait_for(lock, timeout, [&waiter] { return waiter.admitted; });
+  if (waiter.admitted) {
+    // PumpLocked already took the slot + reservation on our behalf.
+    ++stats_.admitted_after_wait;
+    return Ticket(this, memory_bytes);
+  }
+  // Timed out: unlink ourselves so PumpLocked can never admit a dead
+  // waiter, then fail softly.
+  queue_.remove(&waiter);
+  ++stats_.rejected_timeout;
+  return Status::ResourceExhausted(
+      "admission wait exceeded " +
+      std::to_string(options_.queue_timeout_seconds) + "s (" +
+      std::to_string(running_) + " running, " +
+      std::to_string(queue_.size()) + " still queued)");
+}
+
+void AdmissionController::Release(int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CLOUDJOIN_CHECK(running_ > 0);
+  --running_;
+  reserved_bytes_ -= bytes;
+  CLOUDJOIN_CHECK(reserved_bytes_ >= 0);
+  PumpLocked();
+}
+
+AdmissionController::Stats AdmissionController::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats = stats_;
+  stats.running = running_;
+  stats.queued = static_cast<int64_t>(queue_.size());
+  stats.reserved_bytes = reserved_bytes_;
+  return stats;
+}
+
+}  // namespace cloudjoin::server

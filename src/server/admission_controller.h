@@ -1,0 +1,112 @@
+#ifndef CLOUDJOIN_SERVER_ADMISSION_CONTROLLER_H_
+#define CLOUDJOIN_SERVER_ADMISSION_CONTROLLER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+
+#include "common/result.h"
+
+namespace cloudjoin::server {
+
+/// Bounds how much work the query service runs at once — the serving-layer
+/// counterpart of Impala's admission control. A query must acquire an
+/// `AdmissionTicket` before executing; when the service is saturated the
+/// query waits in a bounded FIFO queue, and when the queue itself is full
+/// (or the wait times out) admission fails with `kResourceExhausted`
+/// instead of crashing or over-admitting.
+class AdmissionController {
+ public:
+  struct Options {
+    /// Queries running at once. Admission never exceeds this.
+    int max_concurrent = 4;
+    /// Queries allowed to wait for a slot; an arrival beyond this is
+    /// rejected immediately.
+    int max_queue = 16;
+    /// How long a queued query waits for a slot before giving up.
+    double queue_timeout_seconds = 5.0;
+    /// Total bytes of declared query memory admitted at once; 0 means
+    /// unlimited. A single request larger than the whole budget is
+    /// rejected outright (it could never be admitted).
+    int64_t memory_budget_bytes = 0;
+  };
+
+  /// Monotonic counters plus instantaneous gauges (running/queued/
+  /// reserved_bytes reflect the moment of the snapshot).
+  struct Stats {
+    int64_t admitted_immediately = 0;
+    int64_t admitted_after_wait = 0;
+    int64_t rejected_queue_full = 0;
+    int64_t rejected_timeout = 0;
+    int64_t rejected_oversize = 0;
+    int64_t running = 0;
+    int64_t queued = 0;
+    int64_t peak_running = 0;
+    int64_t reserved_bytes = 0;
+  };
+
+  /// Move-only admission grant: holds one concurrency slot (and the
+  /// declared memory reservation) until destroyed or `Release()`d.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept;
+    ~Ticket() { Release(); }
+
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+    bool valid() const { return controller_ != nullptr; }
+
+    /// Returns the slot and memory reservation; idempotent.
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    Ticket(AdmissionController* controller, int64_t bytes)
+        : controller_(controller), bytes_(bytes) {}
+
+    AdmissionController* controller_ = nullptr;
+    int64_t bytes_ = 0;
+  };
+
+  explicit AdmissionController(const Options& options);
+
+  /// Blocks until a slot (and `memory_bytes` of budget) is available, the
+  /// queue timeout elapses, or the wait queue is full. Waiters are served
+  /// strictly FIFO; a large request at the head blocks later small ones
+  /// rather than starving.
+  Result<Ticket> Admit(int64_t memory_bytes = 0);
+
+  Stats GetStats() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Waiter {
+    int64_t bytes = 0;
+    bool admitted = false;
+  };
+
+  /// True when a request of `bytes` fits in the free slots and budget.
+  bool FitsLocked(int64_t bytes) const;
+
+  /// Admits the longest prefix of the wait queue that fits.
+  void PumpLocked();
+
+  void Release(int64_t bytes);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::list<Waiter*> queue_;
+  int running_ = 0;
+  int64_t reserved_bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace cloudjoin::server
+
+#endif  // CLOUDJOIN_SERVER_ADMISSION_CONTROLLER_H_

@@ -1,0 +1,273 @@
+#include "server/query_service.h"
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "impala/exec_node.h"
+
+namespace cloudjoin::server {
+
+/// One mutex per in-flight build key, so concurrent misses on the same
+/// fingerprint build once while distinct keys build in parallel. Mutexes
+/// persist per distinct key (bounded by the number of distinct
+/// fingerprints the service ever sees — small).
+class KeyedMutex {
+ public:
+  std::shared_ptr<std::mutex> Get(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<std::mutex>& slot = mutexes_[key];
+    if (slot == nullptr) slot = std::make_shared<std::mutex>();
+    return slot;
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<std::mutex>> mutexes_;
+};
+
+/// The service's `impala::BroadcastProvider`: resolves broadcast builds
+/// through the shared LRU cache with single-flight deduplication.
+class QueryService::CachingProvider : public impala::BroadcastProvider {
+ public:
+  explicit CachingProvider(BroadcastIndexCache* cache) : cache_(cache) {}
+
+  Result<std::shared_ptr<const impala::BroadcastRight>> GetOrBuild(
+      const impala::BroadcastFingerprint& fingerprint, const Builder& build,
+      bool* cache_hit) override {
+    const std::string key = fingerprint.Key();
+    if (auto hit = cache_->LookupAs<impala::BroadcastRight>(key)) {
+      *cache_hit = true;
+      return hit;
+    }
+    // Single flight: the first miss builds; concurrent misses for the
+    // same key wait here and then find the entry.
+    std::shared_ptr<std::mutex> flight = flights_.Get(key);
+    std::lock_guard<std::mutex> flight_lock(*flight);
+    if (auto hit = cache_->LookupAs<impala::BroadcastRight>(key)) {
+      *cache_hit = true;
+      return hit;
+    }
+    std::shared_ptr<const impala::BroadcastRight> built;
+    CLOUDJOIN_ASSIGN_OR_RETURN(built, build());
+    cache_->Insert(key, fingerprint.table_name, built->MemoryBytes(), built);
+    *cache_hit = false;
+    return built;
+  }
+
+ private:
+  BroadcastIndexCache* cache_;
+  KeyedMutex flights_;
+};
+
+QueryService::QueryService(dfs::SimFileSystem* fs,
+                           const ServiceOptions& options)
+    : options_(options),
+      system_(fs),
+      admission_(options.admission),
+      cache_(options.cache),
+      pool_(std::max(options.num_threads, options.admission.max_concurrent)),
+      provider_(std::make_unique<CachingProvider>(&cache_)),
+      kernel_flights_(std::make_unique<KeyedMutex>()) {}
+
+QueryService::~QueryService() = default;
+
+Session* QueryService::CreateSession(const impala::QueryOptions& defaults) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto session = std::make_unique<Session>();
+  session->id = next_session_id_.fetch_add(1);
+  session->defaults = defaults;
+  sessions_.push_back(std::move(session));
+  return sessions_.back().get();
+}
+
+Result<const impala::TableDef*> QueryService::RegisterTable(
+    const std::string& name, const join::TableInput& input) {
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  Result<const impala::TableDef*> def = system_.RegisterTable(name, input);
+  // Even without this sweep the catalog-generation field of the
+  // fingerprint prevents stale hits; invalidating eagerly releases the
+  // dead entries' memory immediately instead of waiting for eviction.
+  cache_.InvalidateTable(name);
+  return def;
+}
+
+Result<impala::QueryResult> QueryService::RunOnPool(
+    const std::string& sql, const impala::QueryOptions& options) {
+  auto promise =
+      std::make_shared<std::promise<Result<impala::QueryResult>>>();
+  std::future<Result<impala::QueryResult>> future = promise->get_future();
+  pool_.Submit([this, sql, options, promise] {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    promise->set_value(system_.runtime()->Execute(sql, options));
+  });
+  return future.get();
+}
+
+Result<QueryResponse> QueryService::Execute(Session* session,
+                                            const std::string& sql) {
+  CLOUDJOIN_CHECK(session != nullptr);
+  return Execute(session, sql, session->defaults);
+}
+
+Result<QueryResponse> QueryService::Execute(
+    Session* session, const std::string& sql,
+    const impala::QueryOptions& options) {
+  CLOUDJOIN_CHECK(session != nullptr);
+  queries_submitted_.fetch_add(1);
+  const int64_t query_id = next_query_id_.fetch_add(1);
+
+  Stopwatch total_watch;
+  Result<AdmissionController::Ticket> ticket_result = admission_.Admit(0);
+  const double queue_seconds = total_watch.ElapsedSeconds();
+  if (!ticket_result.ok()) {
+    queries_rejected_.fetch_add(1);
+    return ticket_result.status();
+  }
+  AdmissionController::Ticket ticket = std::move(ticket_result).value();
+
+  impala::QueryOptions effective = options;
+  effective.broadcast_provider =
+      options_.enable_cache ? provider_.get() : nullptr;
+
+  Stopwatch exec_watch;
+  Result<impala::QueryResult> result = RunOnPool(sql, effective);
+  const double exec_seconds = exec_watch.ElapsedSeconds();
+  ticket.Release();
+  if (!result.ok()) {
+    queries_failed_.fetch_add(1);
+    return result.status();
+  }
+
+  QueryResponse response;
+  response.result = std::move(result).value();
+  response.queue_seconds = queue_seconds;
+  response.exec_seconds = exec_seconds;
+  response.total_seconds = total_watch.ElapsedSeconds();
+  response.index_cache_hit =
+      response.result.metrics.counters.Get("join.index_cache_hit") > 0;
+  response.session_id = session->id;
+  response.query_id = query_id;
+
+  queries_ok_.fetch_add(1);
+  queue_latency_.Record(response.queue_seconds);
+  exec_latency_.Record(response.exec_seconds);
+  total_latency_.Record(response.total_seconds);
+  return response;
+}
+
+Result<KernelJoinResponse> QueryService::ExecuteBroadcastJoin(
+    std::span<const join::IdGeometry> left, const KernelJoinRequest& request,
+    const std::function<std::vector<join::IdGeometry>()>& right_loader) {
+  queries_submitted_.fetch_add(1);
+  next_query_id_.fetch_add(1);
+
+  Stopwatch total_watch;
+  Result<AdmissionController::Ticket> ticket_result = admission_.Admit(0);
+  const double queue_seconds = total_watch.ElapsedSeconds();
+  if (!ticket_result.ok()) {
+    queries_rejected_.fetch_add(1);
+    return ticket_result.status();
+  }
+  AdmissionController::Ticket ticket = std::move(ticket_result).value();
+
+  KernelJoinResponse response;
+  response.queue_seconds = queue_seconds;
+
+  const std::string key =
+      "kernel|" + request.right_name +
+      "|v=" + std::to_string(request.right_version) + "|" +
+      request.predicate.ToString() + "|" + request.prepare.Fingerprint();
+
+  std::shared_ptr<const join::BroadcastIndex> index;
+  if (options_.enable_cache) {
+    index = cache_.LookupAs<join::BroadcastIndex>(key);
+  }
+  if (index != nullptr) {
+    response.index_cache_hit = true;
+    response.counters.Add("join.index_cache_hit", 1);
+  } else {
+    std::shared_ptr<std::mutex> flight = kernel_flights_->Get(key);
+    std::lock_guard<std::mutex> flight_lock(*flight);
+    if (options_.enable_cache) {
+      index = cache_.LookupAs<join::BroadcastIndex>(key);
+    }
+    if (index != nullptr) {
+      response.index_cache_hit = true;
+      response.counters.Add("join.index_cache_hit", 1);
+    } else {
+      Stopwatch build_watch;
+      std::vector<join::IdGeometry> records = right_loader();
+      // Never hand the caller's pool to an in-service build: the pool's
+      // Wait() is global and would synchronize with unrelated queries.
+      join::PrepareOptions prepare = request.prepare;
+      prepare.pool = nullptr;
+      auto built = std::make_shared<const join::BroadcastIndex>(
+          std::move(records), request.predicate.FilterRadius(), prepare);
+      response.build_seconds = build_watch.ElapsedSeconds();
+      if (options_.enable_cache) {
+        cache_.Insert(key, "", built->MemoryBytes(), built);
+      }
+      index = built;
+    }
+  }
+
+  Stopwatch probe_watch;
+  index->ProbeBatch(left, request.predicate, &response.pairs,
+                    &response.counters);
+  response.probe_seconds = probe_watch.ElapsedSeconds();
+  ticket.Release();
+
+  queries_ok_.fetch_add(1);
+  queue_latency_.Record(response.queue_seconds);
+  exec_latency_.Record(response.build_seconds + response.probe_seconds);
+  total_latency_.Record(total_watch.ElapsedSeconds());
+  return response;
+}
+
+ServiceStats QueryService::GetStats() const {
+  ServiceStats stats;
+  stats.admission = admission_.GetStats();
+  stats.cache = cache_.GetStats();
+  stats.queries_submitted = queries_submitted_.load();
+  stats.queries_ok = queries_ok_.load();
+  stats.queries_rejected = queries_rejected_.load();
+  stats.queries_failed = queries_failed_.load();
+  stats.queue_latency = queue_latency_.TakeSnapshot();
+  stats.exec_latency = exec_latency_.TakeSnapshot();
+  stats.total_latency = total_latency_.TakeSnapshot();
+  return stats;
+}
+
+std::string ServiceStats::ToString() const {
+  std::ostringstream os;
+  os << "queries: submitted=" << queries_submitted << " ok=" << queries_ok
+     << " rejected=" << queries_rejected << " failed=" << queries_failed
+     << "\n";
+  os << "admission: running=" << admission.running
+     << " queued=" << admission.queued
+     << " peak_running=" << admission.peak_running
+     << " immediate=" << admission.admitted_immediately
+     << " waited=" << admission.admitted_after_wait
+     << " rej_queue_full=" << admission.rejected_queue_full
+     << " rej_timeout=" << admission.rejected_timeout << "\n";
+  os << "index cache: entries=" << cache.entries << " bytes=" << cache.bytes
+     << " hits=" << cache.hits << " misses=" << cache.misses
+     << " hit_ratio=" << cache.HitRatio()
+     << " evictions=" << cache.evictions
+     << " invalidations=" << cache.invalidations << "\n";
+  os << "latency queue: " << queue_latency.ToString() << "\n";
+  os << "latency exec:  " << exec_latency.ToString() << "\n";
+  os << "latency total: " << total_latency.ToString();
+  return os.str();
+}
+
+}  // namespace cloudjoin::server

@@ -1,0 +1,204 @@
+#ifndef CLOUDJOIN_SERVER_QUERY_SERVICE_H_
+#define CLOUDJOIN_SERVER_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/counters.h"
+#include "common/histogram.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "dfs/sim_file_system.h"
+#include "impala/runtime.h"
+#include "join/broadcast_spatial_join.h"
+#include "join/isp_mc_system.h"
+#include "join/spatial_predicate.h"
+#include "join/table_input.h"
+#include "server/admission_controller.h"
+#include "server/broadcast_index_cache.h"
+
+namespace cloudjoin::server {
+
+class KeyedMutex;
+
+/// Configuration of one `QueryService`.
+struct ServiceOptions {
+  /// Workers of the shared execution pool. Each admitted query occupies
+  /// exactly one worker for its whole run, so this should be at least
+  /// `admission.max_concurrent` (it is clamped up to that).
+  int num_threads = 4;
+  AdmissionController::Options admission;
+  BroadcastIndexCache::Options cache;
+  /// When false the broadcast-index cache is bypassed entirely (every
+  /// query rebuilds) — the `--cache=0` ablation arm.
+  bool enable_cache = true;
+};
+
+/// One client's handle on the service: an id plus the default
+/// `QueryOptions` applied to its queries (overridable per query).
+struct Session {
+  int64_t id = 0;
+  impala::QueryOptions defaults;
+};
+
+/// One finished SQL query: rows plus serving-layer timing.
+struct QueryResponse {
+  impala::QueryResult result;
+  /// Wall-clock spent waiting for admission.
+  double queue_seconds = 0.0;
+  /// Wall-clock of engine execution (admission to rows).
+  double exec_seconds = 0.0;
+  /// queue + exec, as the client saw it.
+  double total_seconds = 0.0;
+  /// True when the broadcast structure came out of the cache.
+  bool index_cache_hit = false;
+  int64_t session_id = 0;
+  int64_t query_id = 0;
+};
+
+/// Identity of one bypass (kernel-level) broadcast join request — the
+/// facade path that skips SQL and probes a cached `join::BroadcastIndex`
+/// directly, for clients holding already-parsed geometry.
+struct KernelJoinRequest {
+  /// Names the right-side record set; the cache key ties the built index
+  /// to (name, version, predicate radius, prepare fingerprint).
+  std::string right_name;
+  /// Bump when the named record set changes to invalidate cached builds.
+  int64_t right_version = 0;
+  join::SpatialPredicate predicate;
+  join::PrepareOptions prepare;
+};
+
+/// Bypass join output.
+struct KernelJoinResponse {
+  std::vector<join::IdPair> pairs;
+  bool index_cache_hit = false;
+  double queue_seconds = 0.0;
+  double build_seconds = 0.0;
+  double probe_seconds = 0.0;
+  Counters counters;
+};
+
+/// Point-in-time service telemetry.
+struct ServiceStats {
+  AdmissionController::Stats admission;
+  BroadcastIndexCache::Stats cache;
+  int64_t queries_submitted = 0;
+  int64_t queries_ok = 0;
+  int64_t queries_rejected = 0;
+  int64_t queries_failed = 0;
+  LatencyHistogram::Snapshot queue_latency;
+  LatencyHistogram::Snapshot exec_latency;
+  LatencyHistogram::Snapshot total_latency;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// The serving layer in front of the ISP-MC engine: a long-lived,
+/// thread-safe service that accepts concurrent SQL spatial-join queries
+/// from multiple sessions, bounds concurrency through admission control,
+/// executes on a shared worker pool, and retains built broadcast indexes
+/// across queries so repeated joins against a hot right side skip the
+/// build phase entirely.
+///
+/// The paper's prototypes run one query per process; this module adds the
+/// "query service" deployment mode its Cloud setting implies: many
+/// clients, one resident engine, broadcast structures amortized across
+/// the query stream.
+///
+/// Thread-safety: every public method may be called from any thread.
+/// `RegisterTable` takes the catalog write lock (and invalidates cache
+/// entries of the replaced table); queries run under the read lock.
+class QueryService {
+ public:
+  /// `fs` must outlive the service.
+  QueryService(dfs::SimFileSystem* fs,
+               const ServiceOptions& options = ServiceOptions());
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Opens a session with `defaults` applied to its queries. The returned
+  /// pointer is owned by the service and valid for its lifetime.
+  Session* CreateSession(
+      const impala::QueryOptions& defaults = impala::QueryOptions());
+
+  /// Registers (or replaces) a delimited text table. Replacing a table
+  /// invalidates every cached broadcast index built from it.
+  Result<const impala::TableDef*> RegisterTable(const std::string& name,
+                                                const join::TableInput& input);
+
+  /// Runs `sql` under `session`'s default options. Blocks the calling
+  /// thread until the query finishes, is rejected by admission
+  /// (`kResourceExhausted`), or fails in the engine.
+  Result<QueryResponse> Execute(Session* session, const std::string& sql);
+
+  /// Same, with per-query options overriding the session defaults.
+  /// `options.broadcast_provider` is ignored — the service installs its
+  /// own caching provider (or none, when the cache is disabled).
+  Result<QueryResponse> Execute(Session* session, const std::string& sql,
+                                const impala::QueryOptions& options);
+
+  /// Bypass path for facade clients holding parsed geometry: joins `left`
+  /// against the (possibly cached) broadcast index identified by
+  /// `request`, building it via `right_loader` on a miss. `right_loader`
+  /// is only invoked on a miss and must produce the records the request
+  /// identity describes. Admission-controlled like SQL queries.
+  Result<KernelJoinResponse> ExecuteBroadcastJoin(
+      std::span<const join::IdGeometry> left, const KernelJoinRequest& request,
+      const std::function<std::vector<join::IdGeometry>()>& right_loader);
+
+  ServiceStats GetStats() const;
+
+  AdmissionController* admission() { return &admission_; }
+  BroadcastIndexCache* cache() { return &cache_; }
+
+  /// The wrapped engine, for introspection (EXPLAIN etc.). Do not run
+  /// queries through it directly — that would bypass admission.
+  join::IspMcSystem* system() { return &system_; }
+
+ private:
+  class CachingProvider;
+
+  /// Runs one admitted query on the pool and waits for its result.
+  Result<impala::QueryResult> RunOnPool(const std::string& sql,
+                                        const impala::QueryOptions& options);
+
+  ServiceOptions options_;
+  join::IspMcSystem system_;
+  AdmissionController admission_;
+  BroadcastIndexCache cache_;
+  ThreadPool pool_;
+  std::unique_ptr<CachingProvider> provider_;
+  /// Single-flight locks for bypass-path index builds.
+  std::unique_ptr<KeyedMutex> kernel_flights_;
+
+  /// Guards the catalog: queries shared, RegisterTable exclusive.
+  std::shared_mutex catalog_mu_;
+
+  std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::atomic<int64_t> next_session_id_{1};
+  std::atomic<int64_t> next_query_id_{1};
+
+  std::atomic<int64_t> queries_submitted_{0};
+  std::atomic<int64_t> queries_ok_{0};
+  std::atomic<int64_t> queries_rejected_{0};
+  std::atomic<int64_t> queries_failed_{0};
+  LatencyHistogram queue_latency_;
+  LatencyHistogram exec_latency_;
+  LatencyHistogram total_latency_;
+};
+
+}  // namespace cloudjoin::server
+
+#endif  // CLOUDJOIN_SERVER_QUERY_SERVICE_H_

@@ -5,6 +5,7 @@
 
 #include "common/counters.h"
 #include "common/flags.h"
+#include "common/histogram.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -220,6 +221,75 @@ TEST(StopwatchTest, MeasuresElapsed) {
   for (int i = 0; i < 100000; ++i) sink += i;
   EXPECT_GT(w.ElapsedNanos(), 0);
   EXPECT_GE(w.ElapsedSeconds(), 0.0);
+}
+
+TEST(LatencyHistogramTest, EmptySnapshotIsZero) {
+  LatencyHistogram histogram;
+  LatencyHistogram::Snapshot snapshot = histogram.TakeSnapshot();
+  EXPECT_EQ(snapshot.count, 0);
+  EXPECT_EQ(snapshot.MeanSeconds(), 0.0);
+  EXPECT_EQ(snapshot.PercentileSeconds(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, TracksCountSumMinMax) {
+  LatencyHistogram histogram;
+  histogram.Record(0.001);
+  histogram.Record(0.010);
+  histogram.Record(0.100);
+  LatencyHistogram::Snapshot snapshot = histogram.TakeSnapshot();
+  EXPECT_EQ(snapshot.count, 3);
+  EXPECT_DOUBLE_EQ(snapshot.sum_seconds, 0.111);
+  EXPECT_DOUBLE_EQ(snapshot.min_seconds, 0.001);
+  EXPECT_DOUBLE_EQ(snapshot.max_seconds, 0.100);
+  EXPECT_NEAR(snapshot.MeanSeconds(), 0.037, 1e-12);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotoneAndBracketed) {
+  LatencyHistogram histogram;
+  for (int i = 1; i <= 100; ++i) {
+    histogram.Record(i * 0.001);  // 1ms .. 100ms
+  }
+  LatencyHistogram::Snapshot snapshot = histogram.TakeSnapshot();
+  const double p50 = snapshot.PercentileSeconds(0.50);
+  const double p95 = snapshot.PercentileSeconds(0.95);
+  const double p99 = snapshot.PercentileSeconds(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Log-bucketed estimates carry < kGrowth relative error.
+  EXPECT_NEAR(p50, 0.050, 0.050 * LatencyHistogram::kGrowth);
+  EXPECT_GE(p99, 0.090);
+  EXPECT_LE(p99, snapshot.max_seconds);
+  EXPECT_GE(p50, snapshot.min_seconds);
+}
+
+TEST(LatencyHistogramTest, MergeFromCombines) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(0.001);
+  b.Record(0.100);
+  a.MergeFrom(b);
+  LatencyHistogram::Snapshot snapshot = a.TakeSnapshot();
+  EXPECT_EQ(snapshot.count, 2);
+  EXPECT_DOUBLE_EQ(snapshot.min_seconds, 0.001);
+  EXPECT_DOUBLE_EQ(snapshot.max_seconds, 0.100);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllLand) {
+  LatencyHistogram histogram;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&histogram] {
+      for (int i = 0; i < 1000; ++i) histogram.Record(0.001);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(histogram.TakeSnapshot().count, 4000);
+}
+
+TEST(FormatDurationTest, PicksReadableUnits) {
+  EXPECT_EQ(FormatDuration(0.000741), "741us");
+  EXPECT_NE(FormatDuration(0.0123).find("ms"), std::string::npos);
+  EXPECT_NE(FormatDuration(4.2).find("s"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,208 @@
+#include "server/admission_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace cloudjoin::server {
+namespace {
+
+using Ticket = AdmissionController::Ticket;
+
+void SpinUntil(const std::function<bool()>& done, double timeout_seconds) {
+  Stopwatch watch;
+  while (!done() && watch.ElapsedSeconds() < timeout_seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(AdmissionControllerTest, AdmitsUpToLimitImmediately) {
+  AdmissionController::Options options;
+  options.max_concurrent = 3;
+  AdmissionController controller(options);
+
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 3; ++i) {
+    Result<Ticket> ticket = controller.Admit();
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+    tickets.push_back(std::move(ticket).value());
+  }
+  AdmissionController::Stats stats = controller.GetStats();
+  EXPECT_EQ(stats.running, 3);
+  EXPECT_EQ(stats.admitted_immediately, 3);
+  tickets.clear();
+  EXPECT_EQ(controller.GetStats().running, 0);
+}
+
+TEST(AdmissionControllerTest, ConcurrencyCapNeverExceeded) {
+  AdmissionController::Options options;
+  options.max_concurrent = 3;
+  options.max_queue = 64;
+  options.queue_timeout_seconds = 30.0;
+  AdmissionController controller(options);
+
+  std::atomic<int> running{0};
+  std::atomic<int> high_water{0};
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(16);
+  for (int t = 0; t < 16; ++t) {
+    threads.emplace_back([&] {
+      Result<Ticket> ticket = controller.Admit();
+      ASSERT_TRUE(ticket.ok()) << ticket.status();
+      const int now = running.fetch_add(1) + 1;
+      int peak = high_water.load();
+      while (now > peak && !high_water.compare_exchange_weak(peak, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      running.fetch_sub(1);
+      admitted.fetch_add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(admitted.load(), 16);
+  EXPECT_LE(high_water.load(), 3);
+  AdmissionController::Stats stats = controller.GetStats();
+  EXPECT_EQ(stats.admitted_immediately + stats.admitted_after_wait, 16);
+  EXPECT_LE(stats.peak_running, 3);
+  EXPECT_EQ(stats.running, 0);
+  EXPECT_EQ(stats.queued, 0);
+}
+
+TEST(AdmissionControllerTest, RejectsWhenQueueFull) {
+  AdmissionController::Options options;
+  options.max_concurrent = 1;
+  options.max_queue = 2;
+  options.queue_timeout_seconds = 30.0;
+  AdmissionController controller(options);
+
+  Result<Ticket> holder = controller.Admit();
+  ASSERT_TRUE(holder.ok());
+
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 2; ++i) {
+    waiters.emplace_back([&controller] {
+      Result<Ticket> ticket = controller.Admit();
+      EXPECT_TRUE(ticket.ok()) << ticket.status();
+    });
+  }
+  SpinUntil([&controller] { return controller.GetStats().queued == 2; }, 10.0);
+  ASSERT_EQ(controller.GetStats().queued, 2);
+
+  // Queue is at capacity: the next arrival fails fast with a clean status.
+  Result<Ticket> overflow = controller.Admit();
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(controller.GetStats().rejected_queue_full, 1);
+
+  holder.value().Release();
+  for (std::thread& thread : waiters) thread.join();
+}
+
+TEST(AdmissionControllerTest, QueueTimeoutReturnsErrorNotHang) {
+  AdmissionController::Options options;
+  options.max_concurrent = 1;
+  options.queue_timeout_seconds = 0.05;
+  AdmissionController controller(options);
+
+  Result<Ticket> holder = controller.Admit();
+  ASSERT_TRUE(holder.ok());
+
+  Stopwatch watch;
+  Result<Ticket> waited = controller.Admit();
+  ASSERT_FALSE(waited.ok());
+  EXPECT_EQ(waited.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(watch.ElapsedSeconds(), 0.04);
+  EXPECT_LT(watch.ElapsedSeconds(), 10.0);
+  AdmissionController::Stats stats = controller.GetStats();
+  EXPECT_EQ(stats.rejected_timeout, 1);
+  EXPECT_EQ(stats.queued, 0);  // the dead waiter unlinked itself
+}
+
+TEST(AdmissionControllerTest, WaitersAdmittedInFifoOrder) {
+  AdmissionController::Options options;
+  options.max_concurrent = 1;
+  options.max_queue = 8;
+  options.queue_timeout_seconds = 30.0;
+  AdmissionController controller(options);
+
+  Result<Ticket> holder = controller.Admit();
+  ASSERT_TRUE(holder.ok());
+
+  std::mutex order_mu;
+  std::vector<int> order;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 3; ++i) {
+    waiters.emplace_back([&, i] {
+      Result<Ticket> ticket = controller.Admit();
+      ASSERT_TRUE(ticket.ok()) << ticket.status();
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(i);
+    });
+    // Ensure waiter i is enqueued before waiter i+1 starts.
+    SpinUntil(
+        [&controller, i] { return controller.GetStats().queued == i + 1; },
+        10.0);
+    ASSERT_EQ(controller.GetStats().queued, i + 1);
+  }
+  holder.value().Release();
+  for (std::thread& thread : waiters) thread.join();
+
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(AdmissionControllerTest, MemoryBudgetEnforced) {
+  AdmissionController::Options options;
+  options.max_concurrent = 8;
+  options.memory_budget_bytes = 100;
+  options.queue_timeout_seconds = 0.05;
+  AdmissionController controller(options);
+
+  // A request above the whole budget can never be admitted: reject now.
+  Result<Ticket> oversize = controller.Admit(1000);
+  ASSERT_FALSE(oversize.ok());
+  EXPECT_EQ(oversize.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(controller.GetStats().rejected_oversize, 1);
+
+  Result<Ticket> first = controller.Admit(60);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(controller.GetStats().reserved_bytes, 60);
+
+  // 60 + 60 > 100: the second request waits, then times out.
+  Result<Ticket> second = controller.Admit(60);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+
+  first.value().Release();
+  EXPECT_EQ(controller.GetStats().reserved_bytes, 0);
+  Result<Ticket> third = controller.Admit(60);
+  EXPECT_TRUE(third.ok());
+}
+
+TEST(AdmissionControllerTest, MovedTicketReleasesOnce) {
+  AdmissionController::Options options;
+  options.max_concurrent = 1;
+  AdmissionController controller(options);
+  {
+    Result<Ticket> ticket = controller.Admit();
+    ASSERT_TRUE(ticket.ok());
+    Ticket moved = std::move(ticket).value();
+    Ticket moved_again = std::move(moved);
+    EXPECT_FALSE(moved.valid());
+    EXPECT_TRUE(moved_again.valid());
+    EXPECT_EQ(controller.GetStats().running, 1);
+  }
+  EXPECT_EQ(controller.GetStats().running, 0);
+}
+
+}  // namespace
+}  // namespace cloudjoin::server

@@ -1,0 +1,152 @@
+#include "server/broadcast_index_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cloudjoin::server {
+namespace {
+
+std::shared_ptr<const void> Payload(int id) {
+  return std::make_shared<int>(id);
+}
+
+TEST(BroadcastIndexCacheTest, LookupMissThenHit) {
+  BroadcastIndexCache cache({/*capacity_bytes=*/1024, /*num_shards=*/1});
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_TRUE(cache.Insert("a", "t", 100, Payload(1)));
+  auto hit = cache.LookupAs<int>("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 1);
+
+  BroadcastIndexCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.insertions, 1);
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.bytes, 100);
+}
+
+TEST(BroadcastIndexCacheTest, EvictsLeastRecentlyUsed) {
+  // Single shard so LRU order is global: capacity holds three 100-byte
+  // entries; touching `a` makes `b` the coldest, so inserting `d` must
+  // evict `b` (and only `b`).
+  BroadcastIndexCache cache({/*capacity_bytes=*/300, /*num_shards=*/1});
+  ASSERT_TRUE(cache.Insert("a", "t", 100, Payload(1)));
+  ASSERT_TRUE(cache.Insert("b", "t", 100, Payload(2)));
+  ASSERT_TRUE(cache.Insert("c", "t", 100, Payload(3)));
+  ASSERT_NE(cache.Lookup("a"), nullptr);
+  ASSERT_TRUE(cache.Insert("d", "t", 100, Payload(4)));
+
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  EXPECT_NE(cache.Lookup("d"), nullptr);
+  EXPECT_EQ(cache.GetStats().evictions, 1);
+  EXPECT_EQ(cache.GetStats().bytes, 300);
+}
+
+TEST(BroadcastIndexCacheTest, ReplacingKeyUpdatesBytes) {
+  BroadcastIndexCache cache({/*capacity_bytes=*/1000, /*num_shards=*/1});
+  ASSERT_TRUE(cache.Insert("a", "t", 100, Payload(1)));
+  ASSERT_TRUE(cache.Insert("a", "t", 250, Payload(2)));
+  BroadcastIndexCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.bytes, 250);
+  auto hit = cache.LookupAs<int>("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 2);
+}
+
+TEST(BroadcastIndexCacheTest, RejectsOversizeValue) {
+  BroadcastIndexCache cache({/*capacity_bytes=*/400, /*num_shards=*/4});
+  // Per-shard budget is 100 bytes; a 150-byte value can never fit.
+  EXPECT_FALSE(cache.Insert("big", "t", 150, Payload(1)));
+  BroadcastIndexCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.rejected_oversize, 1);
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.bytes, 0);
+}
+
+TEST(BroadcastIndexCacheTest, InvalidateTableDropsOnlyThatTable) {
+  BroadcastIndexCache cache({/*capacity_bytes=*/4096, /*num_shards=*/2});
+  ASSERT_TRUE(cache.Insert("k1", "nycb", 10, Payload(1)));
+  ASSERT_TRUE(cache.Insert("k2", "nycb", 10, Payload(2)));
+  ASSERT_TRUE(cache.Insert("k3", "lion", 10, Payload(3)));
+
+  EXPECT_EQ(cache.InvalidateTable("nycb"), 2);
+  EXPECT_EQ(cache.Lookup("k1"), nullptr);
+  EXPECT_EQ(cache.Lookup("k2"), nullptr);
+  EXPECT_NE(cache.Lookup("k3"), nullptr);
+  BroadcastIndexCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.invalidations, 2);
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.bytes, 10);
+}
+
+TEST(BroadcastIndexCacheTest, ClearEmptiesEverything) {
+  BroadcastIndexCache cache({/*capacity_bytes=*/4096, /*num_shards=*/4});
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(cache.Insert("k" + std::to_string(i), "t", 8, Payload(i)));
+  }
+  cache.Clear();
+  BroadcastIndexCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.bytes, 0);
+  EXPECT_EQ(stats.invalidations, 16);
+}
+
+/// 8 threads hammer a shared cache with a hot set (mostly hits) and a
+/// cold tail (misses + inserts + evictions). The budget must hold at
+/// every instant any thread observes, and the counters must reconcile.
+TEST(BroadcastIndexCacheTest, ConcurrentStressHoldsBudgetAndReconciles) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  constexpr int64_t kCapacity = 64 * 1024;
+  BroadcastIndexCache cache({kCapacity, /*num_shards=*/4});
+
+  std::atomic<int64_t> lookups{0};
+  std::atomic<bool> budget_violated{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &lookups, &budget_violated, t] {
+      std::mt19937 rng(static_cast<uint32_t>(17 + t));
+      std::uniform_int_distribution<int> hot_or_cold(0, 9);
+      std::uniform_int_distribution<int> hot_key(0, 3);
+      std::uniform_int_distribution<int> cold_key(0, 499);
+      std::uniform_int_distribution<int> size(64, 2048);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const bool hot = hot_or_cold(rng) < 8;
+        const std::string key =
+            hot ? "hot" + std::to_string(hot_key(rng))
+                : "cold" + std::to_string(cold_key(rng));
+        lookups.fetch_add(1);
+        if (cache.Lookup(key) == nullptr) {
+          cache.Insert(key, hot ? "hot_table" : "cold_table", size(rng),
+                       Payload(i));
+        }
+        if (cache.GetStats().bytes > kCapacity) budget_violated.store(true);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_FALSE(budget_violated.load());
+  BroadcastIndexCache::Stats stats = cache.GetStats();
+  EXPECT_LE(stats.bytes, kCapacity);
+  EXPECT_LE(stats.bytes, stats.peak_bytes);
+  EXPECT_EQ(stats.hits + stats.misses, lookups.load());
+  EXPECT_EQ(stats.insertions - stats.evictions - stats.invalidations,
+            stats.entries);
+  // The hot set is tiny and touched 80% of the time: most lookups hit.
+  EXPECT_GT(stats.hits, stats.misses);
+}
+
+}  // namespace
+}  // namespace cloudjoin::server

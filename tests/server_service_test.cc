@@ -1,0 +1,290 @@
+#include "server/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "data/workloads.h"
+#include "dfs/sim_file_system.h"
+#include "geom/wkt.h"
+#include "impala/types.h"
+#include "join/isp_mc_system.h"
+
+namespace cloudjoin::server {
+namespace {
+
+/// The paper's Fig. 1 query over two service-registered tables.
+std::string WorkloadSql(const data::Workload& workload,
+                        const std::string& left_name,
+                        const std::string& right_name) {
+  return "SELECT " + left_name + ".id, " + right_name + ".id FROM " +
+         left_name + " SPATIAL JOIN " + right_name + " WHERE " +
+         join::PredicateSql(workload.predicate, left_name, right_name);
+}
+
+std::vector<std::pair<int64_t, int64_t>> RowsToPairs(
+    const std::vector<impala::Row>& rows) {
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  pairs.reserve(rows.size());
+  for (const impala::Row& row : rows) {
+    pairs.emplace_back(std::get<int64_t>(row[0]), std::get<int64_t>(row[1]));
+  }
+  return pairs;
+}
+
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  QueryServiceTest() : fs_(4, /*block_size=*/16 * 1024) {
+    auto suite = data::MaterializeWorkloads(&fs_, /*scale=*/0.02, /*seed=*/7);
+    CLOUDJOIN_CHECK(suite.ok()) << suite.status();
+    suite_ = std::move(suite).value();
+  }
+
+  /// Builds a service with the taxi-nycb workload registered as
+  /// taxi/nycb.
+  std::unique_ptr<QueryService> MakeService(ServiceOptions options) {
+    auto service = std::make_unique<QueryService>(&fs_, options);
+    auto taxi = service->RegisterTable("taxi", suite_.taxi_nycb.left);
+    CLOUDJOIN_CHECK(taxi.ok()) << taxi.status();
+    auto nycb = service->RegisterTable("nycb", suite_.taxi_nycb.right);
+    CLOUDJOIN_CHECK(nycb.ok()) << nycb.status();
+    return service;
+  }
+
+  std::string TaxiNycbSql() const {
+    return WorkloadSql(suite_.taxi_nycb, "taxi", "nycb");
+  }
+
+  dfs::SimFileSystem fs_;
+  data::WorkloadSuite suite_;
+};
+
+TEST_F(QueryServiceTest, SecondQueryHitsIndexCache) {
+  auto service = MakeService(ServiceOptions());
+  Session* session = service->CreateSession();
+
+  Result<QueryResponse> first = service->Execute(session, TaxiNycbSql());
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->index_cache_hit);
+  EXPECT_GT(first->result.metrics.right_build_seconds, 0.0);
+  EXPECT_FALSE(first->result.rows.empty());
+
+  Result<QueryResponse> second = service->Execute(session, TaxiNycbSql());
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second->index_cache_hit);
+  EXPECT_EQ(second->result.metrics.right_build_seconds, 0.0);
+  EXPECT_EQ(second->result.metrics.counters.Get("join.index_cache_hit"), 1);
+
+  EXPECT_EQ(RowsToPairs(first->result.rows), RowsToPairs(second->result.rows));
+
+  ServiceStats stats = service->GetStats();
+  EXPECT_EQ(stats.queries_ok, 2);
+  EXPECT_EQ(stats.cache.insertions, 1);
+  EXPECT_EQ(stats.cache.hits, 1);
+  EXPECT_GT(stats.cache.bytes, 0);
+}
+
+TEST_F(QueryServiceTest, ResultsByteIdenticalWithCacheOnAndOff) {
+  ServiceOptions cached;
+  cached.enable_cache = true;
+  ServiceOptions uncached;
+  uncached.enable_cache = false;
+  auto service_on = MakeService(cached);
+  auto service_off = MakeService(uncached);
+  Session* session_on = service_on->CreateSession();
+  Session* session_off = service_off->CreateSession();
+
+  for (int round = 0; round < 2; ++round) {
+    Result<QueryResponse> on = service_on->Execute(session_on, TaxiNycbSql());
+    Result<QueryResponse> off =
+        service_off->Execute(session_off, TaxiNycbSql());
+    ASSERT_TRUE(on.ok()) << on.status();
+    ASSERT_TRUE(off.ok()) << off.status();
+    EXPECT_FALSE(off->index_cache_hit);
+    EXPECT_EQ(RowsToPairs(on->result.rows), RowsToPairs(off->result.rows));
+  }
+  // The uncached service never touched its cache.
+  EXPECT_EQ(service_off->GetStats().cache.insertions, 0);
+}
+
+TEST_F(QueryServiceTest, ReRegisteringTableInvalidatesCache) {
+  auto service = MakeService(ServiceOptions());
+  Session* session = service->CreateSession();
+
+  ASSERT_TRUE(service->Execute(session, TaxiNycbSql()).ok());
+  auto redef = service->RegisterTable("nycb", suite_.taxi_nycb.right);
+  ASSERT_TRUE(redef.ok()) << redef.status();
+  EXPECT_GE(service->GetStats().cache.invalidations, 1);
+
+  // Same SQL, but the right table definition is new: must rebuild.
+  Result<QueryResponse> after = service->Execute(session, TaxiNycbSql());
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_FALSE(after->index_cache_hit);
+}
+
+TEST_F(QueryServiceTest, ConcurrentClientsShareOneBuild) {
+  ServiceOptions options;
+  options.num_threads = 8;
+  options.admission.max_concurrent = 8;
+  options.admission.max_queue = 32;
+  auto service = MakeService(options);
+
+  constexpr int kClients = 8;
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> results(kClients);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([this, &service, &results, &failures, c] {
+      Session* session = service->CreateSession();
+      Result<QueryResponse> response =
+          service->Execute(session, TaxiNycbSql());
+      if (!response.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      results[static_cast<size_t>(c)] = RowsToPairs(response->result.rows);
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  for (int c = 1; c < kClients; ++c) {
+    EXPECT_EQ(results[static_cast<size_t>(c)], results[0]) << "client " << c;
+  }
+  ServiceStats stats = service->GetStats();
+  EXPECT_EQ(stats.queries_ok, kClients);
+  // Single-flight: all concurrent misses resolve to exactly one build.
+  // (A miss-path query looks up twice — before and inside the flight —
+  // so total lookups land between kClients and 2 * kClients.)
+  EXPECT_EQ(stats.cache.insertions, 1);
+  EXPECT_GE(stats.cache.hits, kClients - 1);
+  EXPECT_GE(stats.cache.hits + stats.cache.misses, kClients);
+  EXPECT_LE(stats.cache.hits + stats.cache.misses, 2 * kClients);
+  EXPECT_LE(stats.admission.peak_running, options.admission.max_concurrent);
+}
+
+TEST_F(QueryServiceTest, SaturationRejectsCleanly) {
+  ServiceOptions options;
+  options.admission.max_concurrent = 1;
+  options.admission.max_queue = 0;
+  options.admission.queue_timeout_seconds = 0.05;
+  auto service = MakeService(options);
+
+  constexpr int kClients = 6;
+  std::atomic<int> ok{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> other{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([this, &service, &ok, &rejected, &other] {
+      Session* session = service->CreateSession();
+      Result<QueryResponse> response =
+          service->Execute(session, TaxiNycbSql());
+      if (response.ok()) {
+        ok.fetch_add(1);
+      } else if (response.status().code() == StatusCode::kResourceExhausted) {
+        rejected.fetch_add(1);
+      } else {
+        other.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_GE(ok.load(), 1);
+  EXPECT_EQ(ok.load() + rejected.load(), kClients);
+  ServiceStats stats = service->GetStats();
+  EXPECT_EQ(stats.queries_ok, ok.load());
+  EXPECT_EQ(stats.queries_rejected, rejected.load());
+  EXPECT_LE(stats.admission.peak_running, 1);
+}
+
+TEST_F(QueryServiceTest, SessionDefaultsApply) {
+  auto service = MakeService(ServiceOptions());
+  impala::QueryOptions prepared;
+  prepared.prepare_geometries = true;
+  Session* fast = service->CreateSession(prepared);
+  Session* faithful = service->CreateSession();
+  EXPECT_NE(fast->id, faithful->id);
+
+  Result<QueryResponse> a = service->Execute(fast, TaxiNycbSql());
+  Result<QueryResponse> b = service->Execute(faithful, TaxiNycbSql());
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  // Different prepare options fingerprint differently: no false sharing.
+  EXPECT_FALSE(a->index_cache_hit);
+  EXPECT_FALSE(b->index_cache_hit);
+  EXPECT_EQ(RowsToPairs(a->result.rows), RowsToPairs(b->result.rows));
+  EXPECT_EQ(service->GetStats().cache.insertions, 2);
+}
+
+TEST_F(QueryServiceTest, BypassKernelJoinCachesIndex) {
+  auto service = std::make_unique<QueryService>(&fs_, ServiceOptions());
+
+  auto parse = [](const std::string& wkt) {
+    auto geometry = geom::ReadWkt(wkt);
+    CLOUDJOIN_CHECK(geometry.ok()) << geometry.status();
+    return std::move(geometry).value();
+  };
+  std::vector<join::IdGeometry> left;
+  left.push_back({1, parse("POINT (2 2)")});
+  left.push_back({2, parse("POINT (50 50)")});
+  left.push_back({3, parse("POINT (8 8)")});
+
+  std::atomic<int> loads{0};
+  auto loader = [&parse, &loads] {
+    loads.fetch_add(1);
+    std::vector<join::IdGeometry> right;
+    right.push_back({10, parse("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))")});
+    right.push_back(
+        {20, parse("POLYGON ((40 40, 60 40, 60 60, 40 60, 40 40))")});
+    return right;
+  };
+
+  KernelJoinRequest request;
+  request.right_name = "grid";
+  request.predicate = join::SpatialPredicate::Within();
+
+  Result<KernelJoinResponse> cold =
+      service->ExecuteBroadcastJoin(left, request, loader);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_FALSE(cold->index_cache_hit);
+  EXPECT_EQ(loads.load(), 1);
+
+  Result<KernelJoinResponse> warm =
+      service->ExecuteBroadcastJoin(left, request, loader);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_TRUE(warm->index_cache_hit);
+  EXPECT_EQ(loads.load(), 1);  // loader not consulted on the warm path
+  EXPECT_EQ(warm->pairs, cold->pairs);
+  const std::vector<join::IdPair> expected = {{1, 10}, {2, 20}, {3, 10}};
+  EXPECT_EQ(cold->pairs, expected);
+
+  // Bumping the version invalidates the cached identity.
+  request.right_version = 1;
+  Result<KernelJoinResponse> bumped =
+      service->ExecuteBroadcastJoin(left, request, loader);
+  ASSERT_TRUE(bumped.ok()) << bumped.status();
+  EXPECT_FALSE(bumped->index_cache_hit);
+  EXPECT_EQ(loads.load(), 2);
+}
+
+TEST_F(QueryServiceTest, StatsToStringMentionsEverySection) {
+  auto service = MakeService(ServiceOptions());
+  Session* session = service->CreateSession();
+  ASSERT_TRUE(service->Execute(session, TaxiNycbSql()).ok());
+  const std::string rendered = service->GetStats().ToString();
+  EXPECT_NE(rendered.find("queries:"), std::string::npos);
+  EXPECT_NE(rendered.find("admission:"), std::string::npos);
+  EXPECT_NE(rendered.find("index cache:"), std::string::npos);
+  EXPECT_NE(rendered.find("latency total:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudjoin::server

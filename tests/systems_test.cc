@@ -293,5 +293,29 @@ TEST_F(PartitionedSparkTest, InvalidArguments) {
       spark.PartitionedJoin(missing, w.right, w.predicate, 4).ok());
 }
 
+/// Serving-layer hook: a `BuildRight` artifact injected back into `Join`
+/// must skip the build (reporting it as free) without changing a single
+/// output pair — the contract the broadcast-index cache relies on.
+TEST_F(PartitionedSparkTest, StandalonePrebuiltRightMatchesInlineBuild) {
+  StandaloneMc standalone(&fs_);
+  const data::Workload& w = suite_.taxi_nycb;
+
+  auto inline_run = standalone.Join(w.left, w.right, w.predicate);
+  ASSERT_TRUE(inline_run.ok()) << inline_run.status();
+  EXPECT_GT(inline_run->build_seconds, 0.0);
+
+  auto built = standalone.BuildRight(w.right, w.predicate);
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_GT((*built)->MemoryBytes(), 0);
+  auto cached_run =
+      standalone.Join(w.left, w.right, w.predicate, PrepareOptions(), *built);
+  ASSERT_TRUE(cached_run.ok()) << cached_run.status();
+
+  EXPECT_EQ(cached_run->pairs, inline_run->pairs);
+  EXPECT_EQ(cached_run->build_seconds, 0.0);
+  EXPECT_EQ(cached_run->counters.Get("join.index_cache_hit"), 1);
+  EXPECT_EQ(cached_run->counters.Get("standalone.right_rows"), 0);
+}
+
 }  // namespace
 }  // namespace cloudjoin::join
