@@ -1,0 +1,47 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace cloudjoin::check {
+
+namespace {
+
+std::vector<join::IdGeometry>& Side(DifferentialCase& c, int side) {
+  return side == 0 ? c.left.records : c.right.records;
+}
+
+}  // namespace
+
+DifferentialCase ShrinkCase(DifferentialCase c,
+                            const FailurePredicate& still_fails) {
+  for (bool progress = true; progress;) {
+    progress = false;
+    for (int side = 0; side < 2; ++side) {
+      for (size_t chunk =
+               std::max<size_t>(Side(c, side).size() / 2, size_t{1});
+           chunk >= 1; chunk /= 2) {
+        size_t i = 0;
+        while (i + chunk <= Side(c, side).size()) {
+          DifferentialCase candidate = c;
+          auto& records = Side(candidate, side);
+          records.erase(records.begin() + static_cast<ptrdiff_t>(i),
+                        records.begin() + static_cast<ptrdiff_t>(i + chunk));
+          Canonicalize(&candidate);
+          if (still_fails(candidate)) {
+            c = std::move(candidate);
+            progress = true;
+            // Re-test from the same index: the records that slid into
+            // position i are untried.
+          } else {
+            i += chunk;
+          }
+        }
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace cloudjoin::check

@@ -1,0 +1,27 @@
+#ifndef CLOUDJOIN_CHECK_SHRINK_H_
+#define CLOUDJOIN_CHECK_SHRINK_H_
+
+#include <functional>
+
+#include "check/workload.h"
+
+namespace cloudjoin::check {
+
+/// Decides whether a candidate (sub-)case still reproduces the failure
+/// being shrunk. Injectable so the shrinking strategy is testable without
+/// a live engine bug.
+using FailurePredicate = std::function<bool(const DifferentialCase&)>;
+
+/// Greedy delta-debugging over both record lists: repeatedly removes the
+/// largest contiguous chunk (halving the chunk size down to single
+/// records) whose removal keeps `still_fails` true, until no single record
+/// can be removed. Every candidate is re-canonicalized first (ids
+/// renumbered to 0..n-1, text lines regenerated), so the predicate always
+/// sees a case every engine can consume. The input case must satisfy
+/// `still_fails`; the result does too.
+DifferentialCase ShrinkCase(DifferentialCase c,
+                            const FailurePredicate& still_fails);
+
+}  // namespace cloudjoin::check
+
+#endif  // CLOUDJOIN_CHECK_SHRINK_H_

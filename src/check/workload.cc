@@ -1,0 +1,459 @@
+#include "check/workload.h"
+
+#include <cstdio>
+#include <span>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace cloudjoin::check {
+
+namespace {
+
+void AppendCoord(const geom::Point& p, std::string* out) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%.17g %.17g", p.x, p.y);
+  out->append(buf);
+}
+
+void AppendCoordList(std::span<const geom::Point> pts, std::string* out) {
+  out->push_back('(');
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (i > 0) out->append(", ");
+    AppendCoord(pts[i], out);
+  }
+  out->push_back(')');
+}
+
+void AppendPolygonBody(const geom::Geometry& g, int part, std::string* out) {
+  out->push_back('(');
+  for (int ring = 0; ring < g.NumRings(part); ++ring) {
+    if (ring > 0) out->append(", ");
+    AppendCoordList(g.Ring(part, ring), out);
+  }
+  out->push_back(')');
+}
+
+}  // namespace
+
+std::string FormatWkt(const geom::Geometry& g) {
+  std::string out = geom::GeometryTypeToString(g.type());
+  if (g.IsEmpty()) return out + " EMPTY";
+  out.push_back(' ');
+  switch (g.type()) {
+    case geom::GeometryType::kPoint:
+    case geom::GeometryType::kMultiPoint:
+    case geom::GeometryType::kLineString:
+      AppendCoordList(g.Coords(), &out);
+      break;
+    case geom::GeometryType::kMultiLineString:
+      out.push_back('(');
+      for (int part = 0; part < g.NumParts(); ++part) {
+        if (part > 0) out.append(", ");
+        AppendCoordList(g.Ring(part, 0), &out);
+      }
+      out.push_back(')');
+      break;
+    case geom::GeometryType::kPolygon:
+      AppendPolygonBody(g, 0, &out);
+      break;
+    case geom::GeometryType::kMultiPolygon:
+      out.push_back('(');
+      for (int part = 0; part < g.NumParts(); ++part) {
+        if (part > 0) out.append(", ");
+        AppendPolygonBody(g, part, &out);
+      }
+      out.push_back(')');
+      break;
+  }
+  return out;
+}
+
+void Canonicalize(DifferentialCase* c) {
+  for (CaseTable* table : {&c->left, &c->right}) {
+    table->lines.clear();
+    table->lines.reserve(table->records.size());
+    for (size_t i = 0; i < table->records.size(); ++i) {
+      table->records[i].id = static_cast<int64_t>(i);
+      table->lines.push_back(std::to_string(i) + "\t" +
+                             FormatWkt(table->records[i].geometry));
+    }
+  }
+}
+
+namespace {
+
+using geom::Geometry;
+using geom::GeometryType;
+using geom::Point;
+
+/// All randomness for one case flows through this builder so a seed fully
+/// determines the workload on every platform (Rng is xoshiro256**, not
+/// std::mt19937, so there is no libstdc++/libc++ divergence either).
+class CaseBuilder {
+ public:
+  explicit CaseBuilder(uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  DifferentialCase Build() {
+    DifferentialCase c;
+    c.seed = seed_;
+    scale_ = PickScale();
+    c.predicate = PickPredicate();
+    GenerateRight(&c.right);
+    GenerateLeft(&c.left, c.right);
+    Canonicalize(&c);
+    return c;
+  }
+
+ private:
+  /// Most cases live on the unit-ish lattice; the rest stress extreme
+  /// magnitudes. 4096 is a power of two (scaling stays exact), 1e12 keeps
+  /// quarter-lattice coordinates integral (0.25e12 is exact), and 1e-9
+  /// forces scientific notation through every WKT writer/reader.
+  double PickScale() {
+    const double r = rng_.NextDouble();
+    if (r < 0.80) return 1.0;
+    if (r < 0.88) return 4096.0;
+    if (r < 0.94) return 1e12;
+    return 1e-9;
+  }
+
+  join::SpatialPredicate PickPredicate() {
+    const double r = rng_.NextDouble();
+    if (r < 0.40) return join::SpatialPredicate::Within();
+    if (r < 0.70) {
+      const double distances[] = {0.0, 0.25, 1.5};
+      return join::SpatialPredicate::NearestD(
+          distances[rng_.UniformInt(3)] * scale_);
+    }
+    return join::SpatialPredicate::Intersects();
+  }
+
+  /// Quarter-step lattice over [-8, 8] (times the case scale). Lattice
+  /// coordinates make exact vertex hits, shared edges, and zero-extent
+  /// shapes likely instead of measure-zero.
+  double Lattice() {
+    return (static_cast<double>(rng_.UniformInt(65)) - 32.0) * 0.25 * scale_;
+  }
+
+  Point LatticePoint() { return Point{Lattice(), Lattice()}; }
+
+  /// Edge length in [0, 4]·scale, with extra mass on exactly zero so
+  /// degenerate (sliver / point) rectangles are common.
+  double Extent() {
+    if (rng_.NextDouble() < 0.2) return 0.0;
+    return static_cast<double>(rng_.UniformInt(17)) * 0.25 * scale_;
+  }
+
+  Geometry RandomRect() {
+    const Point p = LatticePoint();
+    const double w = Extent();
+    const double h = Extent();
+    return Geometry::MakePolygon({{{p.x, p.y},
+                                   {p.x + w, p.y},
+                                   {p.x + w, p.y + h},
+                                   {p.x, p.y + h},
+                                   {p.x, p.y}}});
+  }
+
+  Geometry RandomTriangleOrQuad() {
+    std::vector<Point> ring;
+    const size_t n = 3 + rng_.UniformInt(2);
+    for (size_t i = 0; i < n; ++i) ring.push_back(LatticePoint());
+    ring.push_back(ring.front());
+    return Geometry::MakePolygon({std::move(ring)});
+  }
+
+  Geometry RectWithHole() {
+    const Point p = LatticePoint();
+    const double s = scale_;
+    return Geometry::MakePolygon(
+        {{{p.x, p.y},
+          {p.x + 4 * s, p.y},
+          {p.x + 4 * s, p.y + 4 * s},
+          {p.x, p.y + 4 * s},
+          {p.x, p.y}},
+         {{p.x + 1 * s, p.y + 1 * s},
+          {p.x + 3 * s, p.y + 1 * s},
+          {p.x + 3 * s, p.y + 3 * s},
+          {p.x + 1 * s, p.y + 3 * s},
+          {p.x + 1 * s, p.y + 1 * s}}});
+  }
+
+  /// Two square lobes meeting at a single pinch vertex that the ring
+  /// visits twice — a valid-by-even-odd but self-touching boundary.
+  Geometry SelfTouchingPolygon() {
+    const Point p = LatticePoint();
+    const double s = scale_;
+    return Geometry::MakePolygon({{{p.x, p.y},
+                                   {p.x + 2 * s, p.y},
+                                   {p.x + 1 * s, p.y + 1 * s},
+                                   {p.x + 2 * s, p.y + 2 * s},
+                                   {p.x, p.y + 2 * s},
+                                   {p.x + 1 * s, p.y + 1 * s},
+                                   {p.x, p.y}}});
+  }
+
+  Geometry TwoRectMultiPolygon() {
+    const Point p = LatticePoint();
+    const Point q = LatticePoint();
+    const double w = Extent();
+    const double h = Extent();
+    return Geometry::MakeMultiPolygon(
+        {{{{p.x, p.y},
+           {p.x + w, p.y},
+           {p.x + w, p.y + h},
+           {p.x, p.y + h},
+           {p.x, p.y}}},
+         {{{q.x, q.y},
+           {q.x + h, q.y},
+           {q.x + h, q.y + w},
+           {q.x, q.y + w},
+           {q.x, q.y}}}});
+  }
+
+  Geometry CollinearPolygon() {
+    const Point p = LatticePoint();
+    const double s = scale_;
+    return Geometry::MakePolygon({{{p.x, p.y},
+                                   {p.x + 1 * s, p.y},
+                                   {p.x + 2 * s, p.y},
+                                   {p.x + 3 * s, p.y},
+                                   {p.x, p.y}}});
+  }
+
+  Geometry AllSamePointPolygon() {
+    const Point p = LatticePoint();
+    return Geometry::MakePolygon({{p, p, p, p}});
+  }
+
+  Geometry RandomLine() {
+    std::vector<Point> path;
+    const size_t n = 2 + rng_.UniformInt(3);
+    for (size_t i = 0; i < n; ++i) path.push_back(LatticePoint());
+    if (rng_.NextDouble() < 0.2) {
+      // Zero-length line: every vertex identical.
+      for (Point& p : path) p = path.front();
+    }
+    return Geometry::MakeLineString(std::move(path));
+  }
+
+  Geometry MakeRightGeometry() {
+    const double r = rng_.NextDouble();
+    if (r < 0.30) return RandomRect();
+    if (r < 0.45) return RandomTriangleOrQuad();
+    if (r < 0.55) return RectWithHole();
+    if (r < 0.63) return SelfTouchingPolygon();
+    if (r < 0.73) return TwoRectMultiPolygon();
+    if (r < 0.80) return CollinearPolygon();
+    if (r < 0.86) return AllSamePointPolygon();
+    if (r < 0.91) return Geometry::MakePoint(Lattice(), Lattice());
+    if (r < 0.96) return RandomLine();
+    return Geometry(GeometryType::kPolygon);  // POLYGON EMPTY
+  }
+
+  void GenerateRight(CaseTable* t) {
+    const size_t n =
+        rng_.NextDouble() < 0.04 ? 0 : 1 + rng_.UniformInt(10);
+    t->records.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      t->records.push_back(join::IdGeometry{0, MakeRightGeometry()});
+    }
+  }
+
+  /// A point exactly on a right-side boundary: a ring vertex, or the
+  /// midpoint of a ring edge (exact for lattice vertices — midpoints land
+  /// on the eighth-step lattice).
+  Geometry BoundaryPoint(const CaseTable& right) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const join::IdGeometry& pick =
+          right.records[rng_.UniformInt(right.records.size())];
+      const auto coords = pick.geometry.Coords();
+      if (coords.empty()) continue;
+      const size_t i = rng_.UniformInt(coords.size());
+      if (rng_.NextDouble() < 0.5 || coords.size() == 1) {
+        return Geometry::MakePoint(coords[i].x, coords[i].y);
+      }
+      const Point& a = coords[i];
+      const Point& b = coords[(i + 1) % coords.size()];
+      return Geometry::MakePoint((a.x + b.x) / 2.0, (a.y + b.y) / 2.0);
+    }
+    return Geometry::MakePoint(Lattice(), Lattice());
+  }
+
+  Geometry MakeLeftGeometry(const std::vector<join::IdGeometry>& done,
+                            const CaseTable& right) {
+    const double r = rng_.NextDouble();
+    const bool right_usable = !right.records.empty();
+    if (r < 0.50) return Geometry::MakePoint(Lattice(), Lattice());
+    if (r < 0.65) {
+      if (right_usable) return BoundaryPoint(right);
+      return Geometry::MakePoint(Lattice(), Lattice());
+    }
+    if (r < 0.75) {
+      if (!done.empty()) return done[rng_.UniformInt(done.size())].geometry;
+      return Geometry::MakePoint(Lattice(), Lattice());
+    }
+    if (r < 0.85) return RandomLine();
+    if (r < 0.95) return RandomRect();
+    return Geometry(GeometryType::kPoint);  // POINT EMPTY
+  }
+
+  void GenerateLeft(CaseTable* t, const CaseTable& right) {
+    const size_t n =
+        rng_.NextDouble() < 0.04 ? 0 : 1 + rng_.UniformInt(24);
+    t->records.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      t->records.push_back(
+          join::IdGeometry{0, MakeLeftGeometry(t->records, right)});
+    }
+  }
+
+  uint64_t seed_;
+  Rng rng_;
+  double scale_ = 1.0;
+};
+
+void AppendCoordLiteral(const Point& p, std::string* out) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "{%.17g, %.17g}", p.x, p.y);
+  out->append(buf);
+}
+
+void AppendRingLiteral(std::span<const Point> pts, std::string* out) {
+  out->push_back('{');
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (i > 0) out->append(", ");
+    AppendCoordLiteral(pts[i], out);
+  }
+  out->push_back('}');
+}
+
+/// Emits a C++ expression rebuilding `g` with the geom::Geometry factories.
+std::string GeometryLiteral(const Geometry& g) {
+  std::string out;
+  if (g.IsEmpty()) {
+    out = "geom::Geometry(geom::GeometryType::";
+    switch (g.type()) {
+      case GeometryType::kPoint: out += "kPoint"; break;
+      case GeometryType::kMultiPoint: out += "kMultiPoint"; break;
+      case GeometryType::kLineString: out += "kLineString"; break;
+      case GeometryType::kMultiLineString: out += "kMultiLineString"; break;
+      case GeometryType::kPolygon: out += "kPolygon"; break;
+      case GeometryType::kMultiPolygon: out += "kMultiPolygon"; break;
+    }
+    return out + ")";
+  }
+  switch (g.type()) {
+    case GeometryType::kPoint: {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "geom::Geometry::MakePoint(%.17g, %.17g)",
+                    g.FirstPoint().x, g.FirstPoint().y);
+      return buf;
+    }
+    case GeometryType::kMultiPoint:
+      out = "geom::Geometry::MakeMultiPoint(";
+      AppendRingLiteral(g.Coords(), &out);
+      return out + ")";
+    case GeometryType::kLineString:
+      out = "geom::Geometry::MakeLineString(";
+      AppendRingLiteral(g.Coords(), &out);
+      return out + ")";
+    case GeometryType::kMultiLineString: {
+      out = "geom::Geometry::MakeMultiLineString({";
+      for (int part = 0; part < g.NumParts(); ++part) {
+        if (part > 0) out.append(", ");
+        AppendRingLiteral(g.Ring(part, 0), &out);
+      }
+      return out + "})";
+    }
+    case GeometryType::kPolygon: {
+      out = "geom::Geometry::MakePolygon({";
+      for (int ring = 0; ring < g.NumRings(0); ++ring) {
+        if (ring > 0) out.append(", ");
+        AppendRingLiteral(g.Ring(0, ring), &out);
+      }
+      return out + "})";
+    }
+    case GeometryType::kMultiPolygon: {
+      out = "geom::Geometry::MakeMultiPolygon({";
+      for (int part = 0; part < g.NumParts(); ++part) {
+        if (part > 0) out.append(", ");
+        out.push_back('{');
+        for (int ring = 0; ring < g.NumRings(part); ++ring) {
+          if (ring > 0) out.append(", ");
+          AppendRingLiteral(g.Ring(part, ring), &out);
+        }
+        out.push_back('}');
+      }
+      return out + "})";
+    }
+  }
+  return out;
+}
+
+std::string PredicateLiteral(const join::SpatialPredicate& p) {
+  switch (p.op) {
+    case join::SpatialOperator::kWithin:
+      return "join::SpatialPredicate::Within()";
+    case join::SpatialOperator::kNearestD: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "join::SpatialPredicate::NearestD(%.17g)",
+                    p.distance);
+      return buf;
+    }
+    case join::SpatialOperator::kIntersects:
+      return "join::SpatialPredicate::Intersects()";
+  }
+  return "join::SpatialPredicate::Within()";
+}
+
+}  // namespace
+
+DifferentialCase GenerateCase(uint64_t seed) {
+  return CaseBuilder(seed).Build();
+}
+
+std::string FormatRepro(const DifferentialCase& c, const std::string& note) {
+  std::string out;
+  out += "// Minimal reproducer shrunk from differential seed " +
+         std::to_string(c.seed) + ".\n";
+  if (!note.empty()) out += "// " + note + "\n";
+  out += "TEST(DifferentialRegressionTest, Seed" + std::to_string(c.seed) +
+         ") {\n";
+  out += "  std::vector<join::IdGeometry> left;\n";
+  for (const join::IdGeometry& r : c.left.records) {
+    out += "  left.push_back({" + std::to_string(r.id) + ", " +
+           GeometryLiteral(r.geometry) + "});\n";
+  }
+  out += "  std::vector<join::IdGeometry> right;\n";
+  for (const join::IdGeometry& r : c.right.records) {
+    out += "  right.push_back({" + std::to_string(r.id) + ", " +
+           GeometryLiteral(r.geometry) + "});\n";
+  }
+  out += "  const join::SpatialPredicate predicate = " +
+         PredicateLiteral(c.predicate) + ";\n";
+  out +=
+      "  auto sorted = [](std::vector<join::IdPair> pairs) {\n"
+      "    std::sort(pairs.begin(), pairs.end());\n"
+      "    return pairs;\n"
+      "  };\n"
+      "  const auto oracle =\n"
+      "      sorted(join::NestedLoopSpatialJoin(left, right, predicate));\n"
+      "  EXPECT_EQ(sorted(join::BroadcastSpatialJoin(left, right, "
+      "predicate)),\n"
+      "            oracle);\n"
+      "  EXPECT_EQ(sorted(join::ParallelBroadcastSpatialJoin(left, right,\n"
+      "                                                      predicate, 4)),\n"
+      "            oracle);\n"
+      "  for (int tiles : {1, 5}) {\n"
+      "    EXPECT_EQ(sorted(join::PartitionedSpatialJoin(left, right, "
+      "predicate,\n"
+      "                                                  tiles)),\n"
+      "              oracle) << tiles;\n"
+      "  }\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace cloudjoin::check

@@ -1,0 +1,60 @@
+#ifndef CLOUDJOIN_CHECK_WORKLOAD_H_
+#define CLOUDJOIN_CHECK_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/geometry.h"
+#include "join/broadcast_spatial_join.h"
+#include "join/spatial_predicate.h"
+
+namespace cloudjoin::check {
+
+/// One side of a differential case. `records` is the canonical content;
+/// ids are consecutive line numbers 0..n-1 so the in-memory engines, the
+/// Spark zipWithIndex pipeline, and the SQL id column all agree on record
+/// identity. `lines` is the same content rendered as the "<id>\t<wkt>"
+/// text rows every DFS-backed engine reads.
+struct CaseTable {
+  std::vector<join::IdGeometry> records;
+  std::vector<std::string> lines;
+};
+
+/// A fully specified differential workload: two tables plus the join
+/// predicate, all derived deterministically from `seed`.
+struct DifferentialCase {
+  uint64_t seed = 0;
+  join::SpatialPredicate predicate;
+  CaseTable left;
+  CaseTable right;
+};
+
+/// Lossless WKT rendering (%.17g — round-trips every double exactly,
+/// unlike geom::WriteWkt's display precision). Both WKT readers accept
+/// every form this emits, so all engines parse bit-identical coordinates.
+std::string FormatWkt(const geom::Geometry& g);
+
+/// Renumbers ids to 0..n-1 in record order and regenerates the text lines
+/// from the records (the records are the only canonical source). Must be
+/// called after any record-level edit, or the text-backed engines would
+/// disagree with the in-memory ones on identity rather than semantics.
+void Canonicalize(DifferentialCase* c);
+
+/// Deterministic edge-case workload for `seed`. The mix deliberately
+/// over-represents the inputs that historically break one engine path but
+/// not another: zero-extent envelopes (sliver and point rectangles),
+/// collinear and self-touching rings, points exactly on boundary vertices
+/// and edge midpoints, duplicated records, empty geometries (EMPTY WKT),
+/// extreme coordinate magnitudes (scientific notation on disk), and empty
+/// tables.
+DifferentialCase GenerateCase(uint64_t seed);
+
+/// C++ source of a ready-to-paste GoogleTest regression test that rebuilds
+/// `c`'s records and checks every in-memory engine against the nested-loop
+/// oracle. `note` is embedded as a comment (e.g. which engine mismatched).
+std::string FormatRepro(const DifferentialCase& c, const std::string& note);
+
+}  // namespace cloudjoin::check
+
+#endif  // CLOUDJOIN_CHECK_WORKLOAD_H_

@@ -65,12 +65,21 @@ double LatencyHistogram::Snapshot::PercentileSeconds(double q) const {
       1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count))));
   int64_t seen = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
-    seen += buckets[i];
-    if (seen >= rank) {
-      // Upper bound of bucket i, clamped into the observed range.
-      const double bound = kMinSeconds * std::pow(kGrowth, i);
-      return std::clamp(bound, min_seconds, max_seconds);
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] >= rank) {
+      // Interpolate inside bucket i between its lower and upper bound by
+      // the quantile sample's rank within the bucket (midpoint-rank
+      // convention). Reporting the bucket's upper bound instead would
+      // overstate tight distributions by up to a full kGrowth factor.
+      const double upper = kMinSeconds * std::pow(kGrowth, i);
+      const double lower = i == 0 ? 0.0 : kMinSeconds * std::pow(kGrowth, i - 1);
+      const double in_bucket_rank =
+          (static_cast<double>(rank - seen) - 0.5) /
+          static_cast<double>(buckets[i]);
+      const double estimate = lower + in_bucket_rank * (upper - lower);
+      return std::clamp(estimate, min_seconds, max_seconds);
     }
+    seen += buckets[i];
   }
   return max_seconds;
 }

@@ -12,10 +12,11 @@ namespace cloudjoin {
 ///
 /// Samples are seconds; buckets grow geometrically from 1 microsecond to
 /// beyond 1 hour, so any query latency this codebase can produce lands in
-/// a bucket with < 20 % relative resolution. Percentile estimates return
-/// the upper bound of the containing bucket (a conservative estimate, and
-/// deterministic for tests). `Counters` stays the home of additive event
-/// counts; this type is the companion for duration distributions.
+/// a bucket with < 20 % relative resolution. Percentile estimates
+/// rank-interpolate between the containing bucket's lower and upper bound
+/// (deterministic for tests, and free of the systematic upper-bound bias).
+/// `Counters` stays the home of additive event counts; this type is the
+/// companion for duration distributions.
 class LatencyHistogram {
  public:
   /// Bucket i covers (kMinSeconds * kGrowth^(i-1), kMinSeconds * kGrowth^i].
@@ -34,8 +35,9 @@ class LatencyHistogram {
     double MeanSeconds() const {
       return count == 0 ? 0.0 : sum_seconds / static_cast<double>(count);
     }
-    /// Upper bound of the bucket holding the `q`-quantile sample
-    /// (q in [0, 1]); 0 when empty.
+    /// Rank-interpolated estimate within the bucket holding the
+    /// `q`-quantile sample (q in [0, 1]), clamped to the observed
+    /// [min_seconds, max_seconds]; 0 when empty.
     double PercentileSeconds(double q) const;
     /// "n=12 mean=1.2ms p50=0.9ms p95=3.1ms p99=3.1ms max=3.0ms".
     std::string ToString() const;

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 
 namespace cloudjoin::geom {
@@ -60,6 +61,11 @@ class WktScanner {
       return Status::ParseError("expected number at offset " +
                                 std::to_string(pos_));
     }
+    // from_chars accepts "inf"/"nan" spellings; coordinates must be finite.
+    if (!std::isfinite(value)) {
+      return Status::ParseError("non-finite coordinate at offset " +
+                                std::to_string(pos_));
+    }
     pos_ += static_cast<size_t>(ptr - first);
     return value;
   }
@@ -100,52 +106,9 @@ class WktScanner {
   size_t pos_ = 0;
 };
 
-void AppendCoord(const Point& p, std::string* out) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.10g %.10g", p.x, p.y);
-  out->append(buf);
-}
-
-void AppendCoordList(std::span<const Point> coords, std::string* out) {
-  out->push_back('(');
-  for (size_t i = 0; i < coords.size(); ++i) {
-    if (i > 0) out->append(", ");
-    AppendCoord(coords[i], out);
-  }
-  out->push_back(')');
-}
-
-void AppendPartRings(const Geometry& g, int part, std::string* out) {
-  out->push_back('(');
-  for (int r = 0; r < g.NumRings(part); ++r) {
-    if (r > 0) out->append(", ");
-    AppendCoordList(g.Ring(part, r), out);
-  }
-  out->push_back(')');
-}
-
-}  // namespace
-
-Result<Geometry> ReadWkt(std::string_view text) {
-  WktScanner scan(text);
-  std::string kind = scan.ReadKeyword();
-  if (kind.empty()) return Status::ParseError("missing geometry keyword");
-
-  GeometryType type;
-  if (kind == "POINT") type = GeometryType::kPoint;
-  else if (kind == "MULTIPOINT") type = GeometryType::kMultiPoint;
-  else if (kind == "LINESTRING") type = GeometryType::kLineString;
-  else if (kind == "MULTILINESTRING") type = GeometryType::kMultiLineString;
-  else if (kind == "POLYGON") type = GeometryType::kPolygon;
-  else if (kind == "MULTIPOLYGON") type = GeometryType::kMultiPolygon;
-  else return Status::ParseError("unknown geometry type '" + kind + "'");
-
-  // EMPTY geometries.
-  {
-    WktScanner probe = scan;
-    if (probe.ReadKeyword() == "EMPTY") return Geometry(type);
-  }
-
+/// Parses the coordinate body of a non-empty geometry of `type`, leaving the
+/// scanner just past the closing paren (the caller enforces end-of-input).
+Result<Geometry> ReadGeometryBody(WktScanner& scan, GeometryType type) {
   switch (type) {
     case GeometryType::kPoint: {
       if (!scan.Consume('(')) return Status::ParseError("expected '('");
@@ -206,6 +169,65 @@ Result<Geometry> ReadWkt(std::string_view text) {
     }
   }
   return Status::Internal("unreachable");
+}
+
+void AppendCoord(const Point& p, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g %.10g", p.x, p.y);
+  out->append(buf);
+}
+
+void AppendCoordList(std::span<const Point> coords, std::string* out) {
+  out->push_back('(');
+  for (size_t i = 0; i < coords.size(); ++i) {
+    if (i > 0) out->append(", ");
+    AppendCoord(coords[i], out);
+  }
+  out->push_back(')');
+}
+
+void AppendPartRings(const Geometry& g, int part, std::string* out) {
+  out->push_back('(');
+  for (int r = 0; r < g.NumRings(part); ++r) {
+    if (r > 0) out->append(", ");
+    AppendCoordList(g.Ring(part, r), out);
+  }
+  out->push_back(')');
+}
+
+}  // namespace
+
+Result<Geometry> ReadWkt(std::string_view text) {
+  WktScanner scan(text);
+  std::string kind = scan.ReadKeyword();
+  if (kind.empty()) return Status::ParseError("missing geometry keyword");
+
+  GeometryType type;
+  if (kind == "POINT") type = GeometryType::kPoint;
+  else if (kind == "MULTIPOINT") type = GeometryType::kMultiPoint;
+  else if (kind == "LINESTRING") type = GeometryType::kLineString;
+  else if (kind == "MULTILINESTRING") type = GeometryType::kMultiLineString;
+  else if (kind == "POLYGON") type = GeometryType::kPolygon;
+  else if (kind == "MULTIPOLYGON") type = GeometryType::kMultiPolygon;
+  else return Status::ParseError("unknown geometry type '" + kind + "'");
+
+  // EMPTY geometries.
+  {
+    WktScanner probe = scan;
+    if (probe.ReadKeyword() == "EMPTY") {
+      if (!probe.AtEnd()) {
+        return Status::ParseError("trailing characters after EMPTY geometry");
+      }
+      return Geometry(type);
+    }
+  }
+
+  CLOUDJOIN_ASSIGN_OR_RETURN(Geometry parsed, ReadGeometryBody(scan, type));
+  if (!scan.AtEnd()) {
+    return Status::ParseError("trailing characters after geometry at offset " +
+                              std::to_string(scan.pos()));
+  }
+  return parsed;
 }
 
 std::string WriteWkt(const Geometry& g) {

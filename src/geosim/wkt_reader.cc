@@ -1,6 +1,7 @@
 #include "geosim/wkt_reader.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -88,6 +89,10 @@ Result<double> TokenToNumber(const std::string& token) {
   if (end != begin + token.size()) {
     return Status::ParseError("bad number in WKT: '" + token + "'");
   }
+  // strtod accepts "inf"/"nan" spellings; coordinates must be finite.
+  if (!std::isfinite(value)) {
+    return Status::ParseError("non-finite coordinate in WKT: '" + token + "'");
+  }
   return value;
 }
 
@@ -164,6 +169,7 @@ Result<std::unique_ptr<Geometry>> WKTReader::read(
       }
     } while (tok.TryConsume(","));
     if (!tok.TryConsume(")")) return Status::ParseError("expected ')'");
+    if (!tok.AtEnd()) return Status::ParseError("trailing WKT tokens");
     return std::unique_ptr<Geometry>(f.createMultiPoint(std::move(members)));
   }
   if (kind == "LINESTRING") {
@@ -184,6 +190,7 @@ Result<std::unique_ptr<Geometry>> WKTReader::read(
       members.push_back(f.createLineString(std::move(coords)));
     } while (tok.TryConsume(","));
     if (!tok.TryConsume(")")) return Status::ParseError("expected ')'");
+    if (!tok.AtEnd()) return Status::ParseError("trailing WKT tokens");
     return std::unique_ptr<Geometry>(
         f.createMultiLineString(std::move(members)));
   }
@@ -202,6 +209,7 @@ Result<std::unique_ptr<Geometry>> WKTReader::read(
       members.push_back(std::move(poly));
     } while (tok.TryConsume(","));
     if (!tok.TryConsume(")")) return Status::ParseError("expected ')'");
+    if (!tok.AtEnd()) return Status::ParseError("trailing WKT tokens");
     return std::unique_ptr<Geometry>(f.createMultiPolygon(std::move(members)));
   }
   return Status::ParseError("unknown geometry type '" + kind + "'");

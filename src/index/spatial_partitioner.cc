@@ -22,6 +22,14 @@ SpatialPartitioner::SpatialPartitioner(const geom::Envelope& extent,
   CLOUDJOIN_CHECK(target_tiles >= 1);
   CLOUDJOIN_CHECK(!extent.IsEmpty());
 
+  // Sample points outside the extent (including non-finite coordinates,
+  // e.g. the NaN center of an empty envelope) would poison the median
+  // selection below — NaN compares false both ways, breaking the strict
+  // weak ordering nth_element requires — so only in-extent points steer
+  // the splits.
+  std::erase_if(sample,
+                [&extent](const geom::Point& p) { return !extent.Contains(p); });
+
   std::vector<WorkTile> work;
   work.push_back(WorkTile{extent, std::move(sample)});
   while (static_cast<int>(work.size()) < target_tiles) {
@@ -82,6 +90,13 @@ int SpatialPartitioner::TileOf(const geom::Point& p) const {
     if (tiles_[i].Contains(p)) return static_cast<int>(i);
   }
   return -1;
+}
+
+int SpatialPartitioner::OwnerTileOf(const geom::Envelope& a,
+                                    const geom::Envelope& b) const {
+  const geom::Point reference{std::max(a.min_x(), b.min_x()),
+                              std::max(a.min_y(), b.min_y())};
+  return TileOf(reference);
 }
 
 std::vector<int> SpatialPartitioner::TilesFor(

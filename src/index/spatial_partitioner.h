@@ -33,8 +33,21 @@ class SpatialPartitioner {
   int TileOf(const geom::Point& p) const;
 
   /// All tiles intersecting `envelope` (an item spanning several tiles is
-  /// replicated into each; the join dedups pairs).
+  /// replicated into each; the join suppresses replicated pairs via
+  /// `OwnerTileOf`).
   std::vector<int> TilesFor(const geom::Envelope& envelope) const;
+
+  /// Reference-point duplicate avoidance for replicated candidate pairs:
+  /// the owner is the tile containing the lower-left corner of the
+  /// intersection of the two (filter-expanded) envelopes. For intersecting
+  /// envelopes inside the extent exactly one tile owns the point (`TileOf`
+  /// breaks shared-boundary ties toward the lower index), and that tile
+  /// holds replicas of both records because the point lies in both
+  /// envelopes — so emitting a pair only from its owner tile reports it
+  /// exactly once, with no global dedup pass. Returns -1 when the corner
+  /// falls outside the extent (possible only for non-intersecting
+  /// envelopes).
+  int OwnerTileOf(const geom::Envelope& a, const geom::Envelope& b) const;
 
  private:
   geom::Envelope extent_;

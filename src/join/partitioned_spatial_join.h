@@ -15,8 +15,11 @@ namespace cloudjoin::join {
 ///
 /// Both inputs are bucketed by spatial tiles computed from a sample of the
 /// right side; items spanning several tiles are replicated; each tile is
-/// joined independently with a local STR-tree; duplicate pairs introduced
-/// by replication are removed. Results equal BroadcastSpatialJoin exactly.
+/// joined independently with a local STR-tree; pairs introduced by
+/// replication are reported only by the tile owning the pair's reference
+/// point (the lower-left corner of the envelope intersection), so no
+/// global dedup pass is needed. Results equal BroadcastSpatialJoin
+/// exactly.
 ///
 /// `num_tiles` controls parallel granularity (≈ number of reduce tasks in
 /// the HadoopGIS analogy).

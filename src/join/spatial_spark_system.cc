@@ -1,6 +1,7 @@
 #include "join/spatial_spark_system.h"
 
 #include <memory>
+#include <unordered_map>
 #include <utility>
 
 #include "common/stopwatch.h"
@@ -166,7 +167,15 @@ Result<SparkJoinRun> SpatialSparkSystem::PartitionedJoin(
   centers.reserve(envelopes.size());
   for (const geom::Envelope& env : envelopes) {
     extent.ExpandToInclude(env);
-    centers.push_back(env.Center());
+    // Empty geometries (e.g. POLYGON EMPTY) have an empty envelope whose
+    // center is NaN; they carry no spatial information for the layout.
+    if (!env.IsEmpty()) centers.push_back(env.Center());
+  }
+  // Every right geometry empty: nothing can match, and the partitioner
+  // needs a non-empty extent.
+  if (extent.IsEmpty()) {
+    run.stages = ctx.stages();
+    return run;
   }
   extent.ExpandBy(std::max(radius, 1e-9) + 1.0);
 
@@ -206,20 +215,38 @@ Result<SparkJoinRun> SpatialSparkSystem::PartitionedJoin(
   int64_t prepared_records = 0;
   // Stage name carries the left path so harness-side extrapolation treats
   // the (probe-dominated) tile joins as left-side work.
+  // Replicated pairs are suppressed tile-locally with the reference-point
+  // technique (emit only in the tile owning the lower-left corner of the
+  // envelope intersection) instead of a driver-side sort-unique, matching
+  // PartitionedSpatialJoin.
   ctx.RunStage("partitionedJoin(" + left.path + ")", num_tiles,
                [&](int tile) {
     std::vector<IdGeometry> right_local;
     right_tiled.ComputePartition(
         tile, [&](const Tagged& kv) { right_local.push_back(kv.second); });
     if (right_local.empty()) return;
+    std::unordered_map<int64_t, geom::Envelope> right_envelopes;
+    right_envelopes.reserve(right_local.size());
+    for (const IdGeometry& g : right_local) {
+      geom::Envelope env = g.geometry.envelope();
+      env.ExpandBy(radius);
+      right_envelopes.emplace(g.id, env);
+    }
     BroadcastIndex index(std::move(right_local), radius, prepare_);
     run.prepare_seconds += index.prepare_seconds();
     prepared_records += index.num_prepared();
     auto* out = &tile_pairs[static_cast<size_t>(tile)];
     left_tiled.ComputePartition(tile, [&](const Tagged& kv) {
+      const geom::Envelope left_env = kv.second.geometry.envelope();
       index.ProbeVisit(
           kv.second, predicate,
-          [out](const IdPair& pair) { out->push_back(pair); }, &probe_stats);
+          [&](const IdPair& pair) {
+            if (partitioner->OwnerTileOf(
+                    left_env, right_envelopes.at(pair.second)) == tile) {
+              out->push_back(pair);
+            }
+          },
+          &probe_stats);
     });
   });
   probe_stats.FlushTo(&run.counters);
@@ -229,13 +256,12 @@ Result<SparkJoinRun> SpatialSparkSystem::PartitionedJoin(
                      static_cast<int64_t>(run.prepare_seconds * 1e6));
   }
 
-  // Merge + dedup (replication can emit a pair in several tiles).
+  // Merge into canonical (sorted) order; reference-point suppression above
+  // already made every pair unique.
   for (auto& pairs : tile_pairs) {
     run.pairs.insert(run.pairs.end(), pairs.begin(), pairs.end());
   }
   std::sort(run.pairs.begin(), run.pairs.end());
-  run.pairs.erase(std::unique(run.pairs.begin(), run.pairs.end()),
-                  run.pairs.end());
 
   run.stages = ctx.stages();
   return run;

@@ -46,6 +46,20 @@ bool AdmissionController::FitsLocked(int64_t bytes) const {
 
 void AdmissionController::PumpLocked() {
   bool woke_any = false;
+  // Evict expired waiters first: a query whose deadline passed while it
+  // was queued must not be granted a slot it will never use (its caller is
+  // about to observe the timeout), and an expired head must not block
+  // admissible followers behind it.
+  const auto now = Now();
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if ((*it)->deadline <= now) {
+      (*it)->timed_out = true;
+      it = queue_.erase(it);
+      woke_any = true;
+    } else {
+      ++it;
+    }
+  }
   while (!queue_.empty() && FitsLocked(queue_.front()->bytes)) {
     Waiter* w = queue_.front();
     queue_.pop_front();
@@ -86,18 +100,33 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
   }
   Waiter waiter;
   waiter.bytes = memory_bytes;
-  queue_.push_back(&waiter);
   const auto timeout = std::chrono::duration<double>(
       std::max(0.0, options_.queue_timeout_seconds));
-  cv_.wait_for(lock, timeout, [&waiter] { return waiter.admitted; });
+  waiter.deadline =
+      Now() + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  timeout);
+  queue_.push_back(&waiter);
+  // The queue ahead of us may hold only already-expired waiters (their
+  // threads not yet woken); pump so we are admitted immediately if free
+  // capacity is really available.
+  PumpLocked();
+  if (!waiter.admitted) {
+    cv_.wait_for(lock, timeout,
+                 [&waiter] { return waiter.admitted || waiter.timed_out; });
+  }
   if (waiter.admitted) {
     // PumpLocked already took the slot + reservation on our behalf.
     ++stats_.admitted_after_wait;
     return Ticket(this, memory_bytes);
   }
-  // Timed out: unlink ourselves so PumpLocked can never admit a dead
-  // waiter, then fail softly.
-  queue_.remove(&waiter);
+  if (!waiter.timed_out) {
+    // We observed the timeout ourselves (PumpLocked has not evicted us):
+    // unlink so PumpLocked can never admit a dead waiter, then pump — if
+    // we were the queue head, followers that fit must not stay stranded
+    // behind our departure.
+    queue_.remove(&waiter);
+    PumpLocked();
+  }
   ++stats_.rejected_timeout;
   return Status::ResourceExhausted(
       "admission wait exceeded " +

@@ -1,8 +1,10 @@
 #ifndef CLOUDJOIN_SERVER_ADMISSION_CONTROLLER_H_
 #define CLOUDJOIN_SERVER_ADMISSION_CONTROLLER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 
@@ -30,6 +32,9 @@ class AdmissionController {
     /// unlimited. A single request larger than the whole budget is
     /// rejected outright (it could never be admitted).
     int64_t memory_budget_bytes = 0;
+    /// Clock used for queue deadlines; null means steady_clock. Injectable
+    /// so tests can expire queued waiters deterministically.
+    std::function<std::chrono::steady_clock::time_point()> clock;
   };
 
   /// Monotonic counters plus instantaneous gauges (running/queued/
@@ -88,12 +93,23 @@ class AdmissionController {
   struct Waiter {
     int64_t bytes = 0;
     bool admitted = false;
+    /// Set by PumpLocked when the waiter's deadline passed while queued;
+    /// mutually exclusive with `admitted`.
+    bool timed_out = false;
+    std::chrono::steady_clock::time_point deadline;
   };
+
+  std::chrono::steady_clock::time_point Now() const {
+    return options_.clock ? options_.clock()
+                          : std::chrono::steady_clock::now();
+  }
 
   /// True when a request of `bytes` fits in the free slots and budget.
   bool FitsLocked(int64_t bytes) const;
 
-  /// Admits the longest prefix of the wait queue that fits.
+  /// Evicts waiters whose deadline has already passed (they must never be
+  /// granted a slot their caller has given up on), then admits the longest
+  /// prefix of the remaining queue that fits.
   void PumpLocked();
 
   void Release(int64_t bytes);

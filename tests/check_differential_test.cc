@@ -1,0 +1,299 @@
+#include "check/differential.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "check/shrink.h"
+#include "check/workload.h"
+#include "geom/wkt.h"
+#include "geosim/wkt_reader.h"
+
+namespace cloudjoin::check {
+namespace {
+
+using geom::Geometry;
+using geom::GeometryType;
+
+bool TablesEqual(const CaseTable& a, const CaseTable& b) {
+  if (a.lines != b.lines) return false;
+  if (a.records.size() != b.records.size()) return false;
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    if (a.records[i].id != b.records[i].id) return false;
+    if (!(a.records[i].geometry == b.records[i].geometry)) return false;
+  }
+  return true;
+}
+
+TEST(WorkloadGeneratorTest, DeterministicPerSeed) {
+  for (uint64_t seed : {1ull, 7ull, 123456789ull}) {
+    DifferentialCase a = GenerateCase(seed);
+    DifferentialCase b = GenerateCase(seed);
+    EXPECT_EQ(a.predicate.op, b.predicate.op);
+    EXPECT_EQ(a.predicate.distance, b.predicate.distance);
+    EXPECT_TRUE(TablesEqual(a.left, b.left)) << seed;
+    EXPECT_TRUE(TablesEqual(a.right, b.right)) << seed;
+  }
+}
+
+TEST(WorkloadGeneratorTest, IdsAreLineNumbers) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    DifferentialCase c = GenerateCase(seed);
+    for (const CaseTable* table : {&c.left, &c.right}) {
+      ASSERT_EQ(table->records.size(), table->lines.size());
+      for (size_t i = 0; i < table->records.size(); ++i) {
+        EXPECT_EQ(table->records[i].id, static_cast<int64_t>(i));
+        EXPECT_EQ(table->lines[i].rfind(std::to_string(i) + "\t", 0), 0u)
+            << table->lines[i];
+      }
+    }
+  }
+}
+
+TEST(WorkloadGeneratorTest, CoversEdgeCaseShapes) {
+  // Over a modest seed range the generator must actually produce each edge
+  // shape the harness exists to cross-check.
+  bool empty_left = false;
+  bool empty_right = false;
+  bool zero_extent_right = false;
+  bool empty_geometry = false;
+  bool extreme_magnitude = false;
+  bool duplicate_left = false;
+  bool nearest_zero = false;
+  for (uint64_t seed = 1; seed <= 300; ++seed) {
+    DifferentialCase c = GenerateCase(seed);
+    empty_left = empty_left || c.left.records.empty();
+    empty_right = empty_right || c.right.records.empty();
+    if (c.predicate.op == join::SpatialOperator::kNearestD &&
+        c.predicate.distance == 0.0) {
+      nearest_zero = true;
+    }
+    for (const join::IdGeometry& r : c.right.records) {
+      const geom::Envelope& env = r.geometry.envelope();
+      if (!r.geometry.IsEmpty() &&
+          (env.Width() == 0.0 || env.Height() == 0.0)) {
+        zero_extent_right = true;
+      }
+    }
+    for (const CaseTable* table : {&c.left, &c.right}) {
+      for (const join::IdGeometry& r : table->records) {
+        empty_geometry = empty_geometry || r.geometry.IsEmpty();
+        for (const geom::Point& p : r.geometry.Coords()) {
+          if (std::abs(p.x) > 1e6 || std::abs(p.x) < 1e-7) {
+            extreme_magnitude = extreme_magnitude || p.x != 0.0;
+          }
+        }
+      }
+    }
+    for (size_t i = 0; i < c.left.records.size() && !duplicate_left; ++i) {
+      for (size_t j = i + 1; j < c.left.records.size(); ++j) {
+        if (c.left.records[i].geometry == c.left.records[j].geometry) {
+          duplicate_left = true;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(empty_left);
+  EXPECT_TRUE(empty_right);
+  EXPECT_TRUE(zero_extent_right);
+  EXPECT_TRUE(empty_geometry);
+  EXPECT_TRUE(extreme_magnitude);
+  EXPECT_TRUE(duplicate_left);
+  EXPECT_TRUE(nearest_zero);
+}
+
+TEST(WorkloadGeneratorTest, WktLinesRoundTripBothStacks) {
+  // The %.17g rendering must round-trip exactly through the fast (geom)
+  // reader; the GEOS-role reader must accept every non-EMPTY form (EMPTY
+  // rows are dropped by that stack by design — empty geometries match
+  // nothing, so result sets still agree).
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    DifferentialCase c = GenerateCase(seed);
+    for (const CaseTable* table : {&c.left, &c.right}) {
+      for (size_t i = 0; i < table->records.size(); ++i) {
+        const std::string& line = table->lines[i];
+        const std::string wkt = line.substr(line.find('\t') + 1);
+        auto parsed = geom::ReadWkt(wkt);
+        ASSERT_TRUE(parsed.ok()) << wkt << ": " << parsed.status();
+        EXPECT_TRUE(parsed.value() == table->records[i].geometry) << wkt;
+        geosim::GeometryFactory factory;
+        geosim::WKTReader reader(&factory);
+        auto geosim_parsed = reader.read(wkt);
+        if (table->records[i].geometry.IsEmpty()) {
+          EXPECT_FALSE(geosim_parsed.ok()) << wkt;
+        } else {
+          EXPECT_TRUE(geosim_parsed.ok()) << wkt << ": "
+                                          << geosim_parsed.status();
+        }
+      }
+    }
+  }
+}
+
+TEST(WorkloadTest, CanonicalizeRenumbersAndRegeneratesLines) {
+  DifferentialCase c = GenerateCase(11);
+  ASSERT_GE(c.left.records.size(), 2u);
+  c.left.records.erase(c.left.records.begin());
+  Canonicalize(&c);
+  ASSERT_EQ(c.left.records.size(), c.left.lines.size());
+  for (size_t i = 0; i < c.left.records.size(); ++i) {
+    EXPECT_EQ(c.left.records[i].id, static_cast<int64_t>(i));
+    EXPECT_EQ(c.left.lines[i],
+              std::to_string(i) + "\t" +
+                  FormatWkt(c.left.records[i].geometry));
+  }
+}
+
+TEST(CompareResultsTest, DetectsMissingAndExtraPairs) {
+  EngineResult oracle;
+  oracle.engine = "oracle/nested_loop";
+  oracle.ran = true;
+  oracle.pairs = {{0, 0}, {1, 2}, {3, 1}};
+  EngineResult agree = oracle;
+  agree.engine = "mem/broadcast";
+  EngineResult diverge;
+  diverge.engine = "spark/wkb";
+  diverge.ran = true;
+  diverge.pairs = {{0, 0}, {2, 2}};
+  EngineResult skipped;
+  skipped.engine = "service/sql_cold";
+
+  CaseOutcome outcome = CompareResults({oracle, agree, diverge, skipped});
+  EXPECT_TRUE(outcome.mismatch);
+  EXPECT_NE(outcome.summary.find("spark/wkb"), std::string::npos);
+  EXPECT_NE(outcome.summary.find("(1,2)"), std::string::npos);  // missing
+  EXPECT_NE(outcome.summary.find("(2,2)"), std::string::npos);  // extra
+  EXPECT_EQ(outcome.summary.find("mem/broadcast"), std::string::npos);
+}
+
+TEST(CompareResultsTest, EngineErrorIsAMismatch) {
+  EngineResult oracle;
+  oracle.engine = "oracle/nested_loop";
+  oracle.ran = true;
+  EngineResult failed;
+  failed.engine = "ispmc/sql";
+  failed.ran = true;
+  failed.status = Status::Internal("boom");
+
+  CaseOutcome outcome = CompareResults({oracle, failed});
+  EXPECT_TRUE(outcome.mismatch);
+  EXPECT_NE(outcome.summary.find("ispmc/sql"), std::string::npos);
+  EXPECT_NE(outcome.summary.find("boom"), std::string::npos);
+}
+
+TEST(CompareResultsTest, AgreementIsNotAMismatch) {
+  EngineResult oracle;
+  oracle.engine = "oracle/nested_loop";
+  oracle.ran = true;
+  oracle.pairs = {{1, 1}};
+  EngineResult agree = oracle;
+  agree.engine = "mem/broadcast";
+  CaseOutcome outcome = CompareResults({oracle, agree});
+  EXPECT_FALSE(outcome.mismatch);
+  EXPECT_TRUE(outcome.summary.empty());
+}
+
+TEST(ShrinkTest, ReducesToMinimalCoreAndRenumbers) {
+  // The "bug" fires whenever a marked left geometry meets a marked right
+  // geometry — the shrinker must strip everything else and renumber.
+  const Geometry needle_left = Geometry::MakePoint(101.0, 202.0);
+  const Geometry needle_right =
+      Geometry::MakePolygon({{{100.0, 200.0},
+                              {104.0, 200.0},
+                              {104.0, 204.0},
+                              {100.0, 204.0},
+                              {100.0, 200.0}}});
+  DifferentialCase c = GenerateCase(5);
+  c.left.records.push_back({0, needle_left});
+  c.right.records.insert(c.right.records.begin(), {0, needle_right});
+  Canonicalize(&c);
+
+  int probes = 0;
+  auto still_fails = [&](const DifferentialCase& candidate) {
+    ++probes;
+    bool has_left = false;
+    bool has_right = false;
+    for (const auto& r : candidate.left.records) {
+      has_left = has_left || r.geometry == needle_left;
+    }
+    for (const auto& r : candidate.right.records) {
+      has_right = has_right || r.geometry == needle_right;
+    }
+    return has_left && has_right;
+  };
+  ASSERT_TRUE(still_fails(c));
+
+  DifferentialCase minimal = ShrinkCase(c, still_fails);
+  ASSERT_EQ(minimal.left.records.size(), 1u);
+  ASSERT_EQ(minimal.right.records.size(), 1u);
+  EXPECT_TRUE(minimal.left.records[0].geometry == needle_left);
+  EXPECT_TRUE(minimal.right.records[0].geometry == needle_right);
+  EXPECT_EQ(minimal.left.records[0].id, 0);
+  EXPECT_EQ(minimal.right.records[0].id, 0);
+  EXPECT_EQ(minimal.left.lines[0],
+            "0\t" + FormatWkt(needle_left));
+  EXPECT_GT(probes, 0);
+}
+
+TEST(ShrinkTest, FormatReproEmitsPasteableTest) {
+  DifferentialCase c;
+  c.seed = 77;
+  c.predicate = join::SpatialPredicate::NearestD(1.5);
+  c.left.records.push_back({0, Geometry::MakePoint(0.25, -0.5)});
+  c.right.records.push_back(
+      {0, Geometry::MakePolygon({{{0, 0}, {1, 0}, {1, 1}, {0, 0}}})});
+  c.right.records.push_back({1, Geometry(GeometryType::kPolygon)});
+  Canonicalize(&c);
+
+  const std::string repro = FormatRepro(c, "spark/wkb: 0 pairs vs oracle 1");
+  EXPECT_NE(repro.find("TEST(DifferentialRegressionTest, Seed77)"),
+            std::string::npos);
+  EXPECT_NE(repro.find("spark/wkb"), std::string::npos);
+  EXPECT_NE(repro.find("MakePoint(0.25, -0.5)"), std::string::npos);
+  EXPECT_NE(repro.find("MakePolygon"), std::string::npos);
+  EXPECT_NE(repro.find("geom::Geometry(geom::GeometryType::kPolygon)"),
+            std::string::npos);
+  EXPECT_NE(repro.find("NearestD(1.5)"), std::string::npos);
+  EXPECT_NE(repro.find("NestedLoopSpatialJoin"), std::string::npos);
+  EXPECT_NE(repro.find("PartitionedSpatialJoin"), std::string::npos);
+}
+
+TEST(DifferentialRunnerTest, InMemoryEnginesAgreeAcrossSeeds) {
+  // Fast arm of the sweep: memory-only engines over a wider seed range.
+  DifferentialRunner::Options options;
+  options.run_dfs_engines = false;
+  options.run_service = false;
+  DifferentialRunner runner(options);
+  std::vector<Failure> failures = runner.RunSeeds(1, 60, /*shrink=*/false);
+  for (const Failure& f : failures) {
+    ADD_FAILURE() << "seed " << f.seed << ":\n" << f.outcome.summary;
+  }
+  EXPECT_EQ(runner.counters().Get("check.cases"), 60);
+  EXPECT_EQ(runner.counters().Get("check.mismatched_cases"), 0);
+  EXPECT_GT(runner.counters().Get("check.oracle_pairs"), 0);
+}
+
+TEST(DifferentialRunnerTest, AllEnginesAgreeOnSmokeSeeds) {
+  DifferentialRunner runner;
+  std::vector<Failure> failures = runner.RunSeeds(1, 12, /*shrink=*/true);
+  for (const Failure& f : failures) {
+    ADD_FAILURE() << "seed " << f.seed << ":\n"
+                  << f.outcome.summary << "\n"
+                  << f.repro;
+  }
+  const Counters& counters = runner.counters();
+  EXPECT_EQ(counters.Get("check.cases"), 12);
+  EXPECT_EQ(counters.Get("check.mismatched_cases"), 0);
+  EXPECT_GT(counters.Get("check.engines_run"), 0);
+
+  sim::RunReport report = runner.BuildReport();
+  EXPECT_EQ(report.system, "check-differential");
+  EXPECT_EQ(report.counters.Get("check.cases"), 12);
+}
+
+}  // namespace
+}  // namespace cloudjoin::check

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <set>
+#include <vector>
 
 #include "common/counters.h"
 #include "common/flags.h"
@@ -260,6 +263,48 @@ TEST(LatencyHistogramTest, PercentilesAreMonotoneAndBracketed) {
   EXPECT_GE(p99, 0.090);
   EXPECT_LE(p99, snapshot.max_seconds);
   EXPECT_GE(p50, snapshot.min_seconds);
+}
+
+TEST(LatencyHistogramTest, TightDistributionP50NotInflatedToBucketBound) {
+  // 99 samples at a value sitting just above a bucket's lower bound, plus
+  // one large outlier (so the max clamp cannot mask the estimate). The old
+  // upper-bound estimate reported ~1.2x the true p50 — a full kGrowth
+  // factor of bias; rank interpolation keeps it within ~half a bucket.
+  const double v =
+      LatencyHistogram::kMinSeconds * std::pow(LatencyHistogram::kGrowth, 40) *
+      1.0001;
+  LatencyHistogram histogram;
+  for (int i = 0; i < 99; ++i) histogram.Record(v);
+  histogram.Record(1.0);
+  const double p50 = histogram.TakeSnapshot().PercentileSeconds(0.50);
+  EXPECT_GE(p50, v * 0.95);
+  EXPECT_LE(p50, v * 1.11);
+}
+
+TEST(LatencyHistogramTest, PercentilesMatchSortedSampleOracle) {
+  // Property test: against the exact nearest-rank percentile of the sorted
+  // samples, the histogram estimate must stay within one bucket width
+  // (relative error < kGrowth - 1) for every quantile tested.
+  Rng rng(4242);
+  LatencyHistogram histogram;
+  std::vector<double> samples;
+  for (int i = 0; i < 2000; ++i) {
+    // Log-uniform over ~6 decades, the realistic latency range.
+    const double s = std::pow(10.0, rng.Uniform(-6.0, 0.5));
+    samples.push_back(s);
+    histogram.Record(s);
+  }
+  std::sort(samples.begin(), samples.end());
+  LatencyHistogram::Snapshot snapshot = histogram.TakeSnapshot();
+  for (double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0}) {
+    const auto rank = static_cast<size_t>(std::max<int64_t>(
+        1, static_cast<int64_t>(std::ceil(q * samples.size()))));
+    const double oracle = samples[rank - 1];
+    const double estimate = snapshot.PercentileSeconds(q);
+    EXPECT_NEAR(estimate, oracle,
+                oracle * (LatencyHistogram::kGrowth - 1.0) + 1e-9)
+        << "q=" << q;
+  }
 }
 
 TEST(LatencyHistogramTest, MergeFromCombines) {

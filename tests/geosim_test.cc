@@ -120,6 +120,31 @@ TEST(GeosimWktTest, RejectsGarbage) {
   EXPECT_FALSE(reader.read("").ok());
 }
 
+TEST(GeosimWktTest, RejectsNonFiniteCoordinates) {
+  // strtod accepts "inf"/"nan" (and hex floats); the reader must not.
+  WKTReader reader(&Factory());
+  EXPECT_FALSE(reader.read("POINT (inf 0)").ok());
+  EXPECT_FALSE(reader.read("POINT (0 -inf)").ok());
+  EXPECT_FALSE(reader.read("POINT (nan nan)").ok());
+  EXPECT_FALSE(reader.read("LINESTRING (0 0, inf 1)").ok());
+  EXPECT_FALSE(reader.read("POLYGON ((0 0, 1 0, nan 1, 0 0))").ok());
+  EXPECT_FALSE(reader.read("POINT (1e999 0)").ok());
+}
+
+TEST(GeosimWktTest, RejectsTrailingGarbage) {
+  // Every geometry type must reject trailing tokens, not just the
+  // single-part ones (MULTI* previously accepted "MULTIPOINT (1 2) junk").
+  WKTReader reader(&Factory());
+  EXPECT_FALSE(reader.read("POINT (1 2) x").ok());
+  EXPECT_FALSE(reader.read("MULTIPOINT (1 2) 7").ok());
+  EXPECT_FALSE(reader.read("MULTIPOINT ((1 2)) )").ok());
+  EXPECT_FALSE(reader.read("MULTILINESTRING ((0 0, 1 1)) x").ok());
+  EXPECT_FALSE(
+      reader.read("MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0))) POINT (1 2)").ok());
+  // Trailing whitespace is still fine.
+  EXPECT_TRUE(reader.read("MULTIPOINT (1 2)  \t").ok());
+}
+
 // ---- Cross-library equivalence: geosim must agree exactly with geom. ----
 //
 // This is the load-bearing property for the paper reproduction: the two

@@ -150,6 +150,123 @@ TEST_P(JoinOracleProperty, PartitionedMatchesBroadcast) {
   }
 }
 
+TEST(PartitionedDegenerateTest, DegenerateEnvelopesMatchBroadcastOracle) {
+  // Zero-extent envelopes (points, sliver polygons), envelopes straddling
+  // every tile boundary, and verbatim-repeated left records. The broadcast
+  // contract emits one pair per matching *record* pair; the old global
+  // sort-unique dedup collapsed the pairs contributed by repeated records,
+  // which the reference-point technique preserves.
+  std::vector<IdGeometry> left;
+  int64_t id = 0;
+  for (int x = 0; x <= 8; x += 2) {
+    for (int y = 0; y <= 8; y += 2) {
+      geom::Geometry p = geom::Geometry::MakePoint(x, y);
+      left.push_back(IdGeometry{id, p});
+      left.push_back(IdGeometry{id, p});  // duplicate observation, same id
+      ++id;
+    }
+  }
+  std::vector<IdGeometry> right;
+  // Zero-height and zero-width sliver polygons spanning the whole extent
+  // (their envelopes straddle every x- or y-cut a tile layout can make).
+  right.push_back(IdGeometry{
+      0, geom::Geometry::MakePolygon(
+             {{{0, 4}, {8, 4}, {8, 4}, {0, 4}}})});
+  right.push_back(IdGeometry{
+      1, geom::Geometry::MakePolygon(
+             {{{2, 0}, {2, 8}, {2, 8}, {2, 0}}})});
+  // Whole-extent square and an interior square with boundary on the grid.
+  right.push_back(IdGeometry{
+      2, geom::Geometry::MakePolygon(
+             {{{0, 0}, {8, 0}, {8, 8}, {0, 8}, {0, 0}}})});
+  right.push_back(IdGeometry{
+      3, geom::Geometry::MakePolygon(
+             {{{3, 3}, {5, 3}, {5, 5}, {3, 5}, {3, 3}}})});
+
+  for (const SpatialPredicate& predicate :
+       {SpatialPredicate::Within(), SpatialPredicate::NearestD(2.0),
+        SpatialPredicate::Intersects()}) {
+    auto broadcast = Sorted(BroadcastSpatialJoin(left, right, predicate));
+    ASSERT_FALSE(broadcast.empty());
+    for (int tiles : {1, 2, 3, 5, 8, 16}) {
+      auto partitioned =
+          Sorted(PartitionedSpatialJoin(left, right, predicate, tiles));
+      EXPECT_EQ(partitioned, broadcast) << "tiles=" << tiles;
+    }
+  }
+}
+
+TEST(PartitionedDegenerateTest, AllRecordsAtOnePointMatchBroadcast) {
+  // Fully zero-extent workload: every record shares one location, so every
+  // tile split falls back to the midpoint and all envelope corners sit on
+  // tile boundaries.
+  std::vector<IdGeometry> left, right;
+  for (int64_t i = 0; i < 6; ++i) {
+    left.push_back(IdGeometry{i, geom::Geometry::MakePoint(7.0, -3.0)});
+  }
+  right.push_back(IdGeometry{
+      0, geom::Geometry::MakePolygon(
+             {{{7, -3}, {7, -3}, {7, -3}, {7, -3}}})});
+  right.push_back(IdGeometry{1, geom::Geometry::MakePoint(7.0, -3.0)});
+  SpatialPredicate predicate = SpatialPredicate::NearestD(0.0);
+  auto broadcast = Sorted(BroadcastSpatialJoin(left, right, predicate));
+  EXPECT_EQ(broadcast.size(), 12u);
+  for (int tiles : {1, 4, 9}) {
+    auto partitioned =
+        Sorted(PartitionedSpatialJoin(left, right, predicate, tiles));
+    EXPECT_EQ(partitioned, broadcast) << "tiles=" << tiles;
+  }
+}
+
+TEST(PartitionedDegenerateTest, EmptyGeometryDoesNotPoisonTileLayout) {
+  // Minimal reproducer shrunk from differential seed 42: a POLYGON EMPTY
+  // right record has an empty envelope whose center is NaN. Feeding that
+  // center into the BSP sample broke nth_element's ordering and could make
+  // a cut NaN, yielding NaN-bounded tiles that silently dropped records
+  // from replication — here the zero-height sliver at y=5 lost its match.
+  std::vector<IdGeometry> left;
+  left.push_back({0, geom::Geometry::MakePoint(-7, 5)});
+  std::vector<IdGeometry> right;
+  right.push_back({0, geom::Geometry(geom::GeometryType::kPolygon)});
+  right.push_back({1, geom::Geometry::MakePolygon(
+                          {{{-7, 5}, {-6, 5}, {-5, 5}, {-4, 5}, {-7, 5}}})});
+  right.push_back({2, geom::Geometry::MakePolygon({{{4.5, 4.25},
+                                                    {5.5, 4.25},
+                                                    {6.5, 4.25},
+                                                    {7.5, 4.25},
+                                                    {4.5, 4.25}}})});
+  right.push_back({3, geom::Geometry::MakePolygon({{{-1.75, -3.75},
+                                                    {1.75, -3.75},
+                                                    {1.75, -2.75},
+                                                    {-1.75, -2.75},
+                                                    {-1.75, -3.75}}})});
+  const SpatialPredicate predicate = SpatialPredicate::Within();
+  const auto oracle = Sorted(NestedLoopSpatialJoin(left, right, predicate));
+  EXPECT_EQ(oracle.size(), 1u);
+  for (int tiles : {1, 5}) {
+    EXPECT_EQ(Sorted(PartitionedSpatialJoin(left, right, predicate, tiles)),
+              oracle)
+        << tiles;
+  }
+}
+
+TEST(PartitionedDegenerateTest, AllEmptyGeometriesYieldNoPairs) {
+  // Every geometry empty: the union extent is empty and no predicate can
+  // match. The partitioned join must return cleanly instead of asserting
+  // on the empty extent.
+  std::vector<IdGeometry> left;
+  left.push_back({0, geom::Geometry(geom::GeometryType::kPoint)});
+  std::vector<IdGeometry> right;
+  right.push_back({0, geom::Geometry(geom::GeometryType::kPolygon)});
+  for (int tiles : {1, 4}) {
+    EXPECT_TRUE(
+        PartitionedSpatialJoin(left, right, SpatialPredicate::Intersects(),
+                               tiles)
+            .empty())
+        << tiles;
+  }
+}
+
 TEST_P(JoinOracleProperty, PartitionedNearestDMatchesBroadcast) {
   Rng rng(static_cast<uint64_t>(GetParam()) * 6007);
   auto points = RandomPoints(&rng, 200, 1000);

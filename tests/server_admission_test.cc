@@ -188,6 +188,202 @@ TEST(AdmissionControllerTest, MemoryBudgetEnforced) {
   EXPECT_TRUE(third.ok());
 }
 
+TEST(AdmissionControllerTest, ExpiredWaiterNeverGrantedAfterDeadline) {
+  // Deterministic via an injected clock: a query whose deadline passes
+  // while it is queued must be rejected with kResourceExhausted even when
+  // a slot frees up afterwards — granting it would hand a slot to a caller
+  // that already gave up (the grant-after-timeout race).
+  std::atomic<int64_t> fake_nanos{0};
+  AdmissionController::Options options;
+  options.max_concurrent = 1;
+  options.queue_timeout_seconds = 1.0;
+  options.clock = [&fake_nanos] {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::nanoseconds(fake_nanos.load()));
+  };
+  AdmissionController controller(options);
+
+  Result<Ticket> holder = controller.Admit();
+  ASSERT_TRUE(holder.ok());
+
+  std::atomic<bool> waiter_done{false};
+  Status waiter_status;
+  std::thread waiter([&] {
+    Result<Ticket> ticket = controller.Admit();
+    waiter_status = ticket.ok() ? Status::OK() : ticket.status();
+    waiter_done.store(true);
+  });
+  SpinUntil([&controller] { return controller.GetStats().queued == 1; }, 10.0);
+  ASSERT_EQ(controller.GetStats().queued, 1);
+
+  // Advance the fake clock past the waiter's deadline, then free the slot.
+  // The release-side pump must evict the expired waiter, not admit it.
+  fake_nanos.store(2'000'000'000);
+  holder.value().Release();
+
+  SpinUntil([&waiter_done] { return waiter_done.load(); }, 10.0);
+  waiter.join();
+  ASSERT_FALSE(waiter_status.ok());
+  EXPECT_EQ(waiter_status.code(), StatusCode::kResourceExhausted);
+  AdmissionController::Stats stats = controller.GetStats();
+  EXPECT_EQ(stats.rejected_timeout, 1);
+  EXPECT_EQ(stats.admitted_after_wait, 0);
+  EXPECT_EQ(stats.running, 0);  // the freed slot was not handed to the dead waiter
+  EXPECT_EQ(stats.queued, 0);
+}
+
+TEST(AdmissionControllerTest, EvictedHeadDoesNotStrandFollowers) {
+  // Deterministic head-of-line scenario on the memory budget, driven by a
+  // fake clock (the 30s timeout means no real-time wakeups fire): a large
+  // head expires in the queue while a small follower behind it fits. The
+  // pump that evicts the expired head must admit the follower in the same
+  // pass, not leave it stranded behind the corpse.
+  std::atomic<int64_t> fake_nanos{0};
+  AdmissionController::Options options;
+  options.max_concurrent = 8;
+  options.max_queue = 8;
+  options.memory_budget_bytes = 100;
+  options.queue_timeout_seconds = 30.0;
+  options.clock = [&fake_nanos] {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::nanoseconds(fake_nanos.load()));
+  };
+  AdmissionController controller(options);
+
+  Result<Ticket> holder_large = controller.Admit(80);
+  Result<Ticket> holder_small = controller.Admit(15);
+  ASSERT_TRUE(holder_large.ok());
+  ASSERT_TRUE(holder_small.ok());
+
+  // Head: wants 80 (doesn't fit beside 95 reserved). Deadline 30s.
+  std::atomic<bool> head_done{false};
+  Status head_status;
+  std::thread head([&] {
+    Result<Ticket> ticket = controller.Admit(80);
+    head_status = ticket.ok() ? Status::OK() : ticket.status();
+    head_done.store(true);
+  });
+  SpinUntil([&controller] { return controller.GetStats().queued == 1; }, 10.0);
+  ASSERT_EQ(controller.GetStats().queued, 1);
+
+  // Follower: enqueued one fake second later, so its deadline is 31s.
+  fake_nanos.store(1'000'000'000);
+  std::atomic<bool> follower_admitted{false};
+  std::thread follower([&] {
+    Result<Ticket> ticket = controller.Admit(10);
+    EXPECT_TRUE(ticket.ok()) << ticket.status();
+    follower_admitted.store(true);
+  });
+  SpinUntil([&controller] { return controller.GetStats().queued == 2; }, 10.0);
+  ASSERT_EQ(controller.GetStats().queued, 2);
+
+  // Advance past the head's deadline but not the follower's, then release
+  // the small holder. One pump must evict the head AND admit the follower
+  // (80 held + 10 = 90 fits the 100 budget).
+  fake_nanos.store(30'500'000'000);
+  holder_small.value().Release();
+
+  SpinUntil([&head_done] { return head_done.load(); }, 10.0);
+  ASSERT_TRUE(head_done.load());
+  EXPECT_FALSE(head_status.ok());
+  EXPECT_EQ(head_status.code(), StatusCode::kResourceExhausted);
+  SpinUntil([&follower_admitted] { return follower_admitted.load(); }, 10.0);
+  EXPECT_TRUE(follower_admitted.load())
+      << "follower stranded behind the evicted head";
+
+  head.join();
+  follower.join();
+  holder_large.value().Release();
+  AdmissionController::Stats stats = controller.GetStats();
+  EXPECT_EQ(stats.rejected_timeout, 1);
+  EXPECT_EQ(stats.admitted_after_wait, 1);
+}
+
+TEST(AdmissionControllerTest, SelfTimedOutHeadPumpsFollowers) {
+  // Real-clock companion to the eviction test: the head observes its own
+  // timeout (nothing else pumps in between) and its departure must admit
+  // the follower behind it. The 100ms enqueue gap keeps the follower's own
+  // timeout comfortably after the head's.
+  AdmissionController::Options options;
+  options.max_concurrent = 8;
+  options.max_queue = 8;
+  options.memory_budget_bytes = 100;
+  options.queue_timeout_seconds = 0.25;
+  AdmissionController controller(options);
+
+  Result<Ticket> holder = controller.Admit(80);
+  ASSERT_TRUE(holder.ok());
+
+  std::atomic<bool> head_done{false};
+  Status head_status;
+  std::thread head([&] {
+    Result<Ticket> ticket = controller.Admit(80);
+    head_status = ticket.ok() ? Status::OK() : ticket.status();
+    head_done.store(true);
+  });
+  SpinUntil([&controller] { return controller.GetStats().queued == 1; }, 10.0);
+  ASSERT_EQ(controller.GetStats().queued, 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::atomic<bool> follower_done{false};
+  std::atomic<bool> follower_admitted{false};
+  std::thread follower([&] {
+    Result<Ticket> ticket = controller.Admit(10);
+    follower_admitted.store(ticket.ok());
+    follower_done.store(true);
+  });
+  SpinUntil([&controller] { return controller.GetStats().queued == 2; }, 10.0);
+  ASSERT_EQ(controller.GetStats().queued, 2);
+
+  SpinUntil([&head_done] { return head_done.load(); }, 10.0);
+  ASSERT_TRUE(head_done.load());
+  EXPECT_FALSE(head_status.ok());
+  SpinUntil([&follower_done] { return follower_done.load(); }, 10.0);
+  EXPECT_TRUE(follower_admitted.load())
+      << "follower stranded behind the self-timed-out head";
+
+  head.join();
+  follower.join();
+  holder.value().Release();
+}
+
+TEST(AdmissionControllerTest, ArrivalBehindExpiredWaiterAdmittedImmediately) {
+  // With a fake clock the expired waiter stays asleep (its real-time wait
+  // has not elapsed) while its deadline is long past. A new arrival must
+  // not be stranded behind the corpse when capacity is free.
+  std::atomic<int64_t> fake_nanos{0};
+  AdmissionController::Options options;
+  options.max_concurrent = 1;
+  options.queue_timeout_seconds = 1.0;
+  options.clock = [&fake_nanos] {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::nanoseconds(fake_nanos.load()));
+  };
+  AdmissionController controller(options);
+
+  Result<Ticket> holder = controller.Admit();
+  ASSERT_TRUE(holder.ok());
+  std::atomic<bool> stale_done{false};
+  std::thread stale([&] {
+    Result<Ticket> ticket = controller.Admit();
+    EXPECT_FALSE(ticket.ok());
+    stale_done.store(true);
+  });
+  SpinUntil([&controller] { return controller.GetStats().queued == 1; }, 10.0);
+  ASSERT_EQ(controller.GetStats().queued, 1);
+
+  // Expire the queued waiter, free the slot (pump evicts the corpse), and
+  // verify a fresh arrival is admitted without waiting.
+  fake_nanos.store(5'000'000'000);
+  holder.value().Release();
+  Result<Ticket> fresh = controller.Admit();
+  EXPECT_TRUE(fresh.ok()) << fresh.status();
+
+  SpinUntil([&stale_done] { return stale_done.load(); }, 10.0);
+  stale.join();
+  EXPECT_EQ(controller.GetStats().rejected_timeout, 1);
+}
+
 TEST(AdmissionControllerTest, MovedTicketReleasesOnce) {
   AdmissionController::Options options;
   options.max_concurrent = 1;

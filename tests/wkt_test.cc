@@ -91,6 +91,34 @@ TEST(WktReadTest, Errors) {
   EXPECT_FALSE(ReadWkt("POINT (a b)").ok());               // not numbers
 }
 
+TEST(WktReadTest, RejectsNonFiniteCoordinates) {
+  // std::from_chars accepts the "inf"/"nan" spellings; the scanner must not.
+  EXPECT_FALSE(ReadWkt("POINT (inf 0)").ok());
+  EXPECT_FALSE(ReadWkt("POINT (0 -inf)").ok());
+  EXPECT_FALSE(ReadWkt("POINT (nan nan)").ok());
+  EXPECT_FALSE(ReadWkt("POINT (infinity 1)").ok());
+  EXPECT_FALSE(ReadWkt("LINESTRING (0 0, inf 1)").ok());
+  EXPECT_FALSE(ReadWkt("POLYGON ((0 0, 1 0, nan 1, 0 0))").ok());
+  // Overflowing literals are out of range, not silently infinite.
+  EXPECT_FALSE(ReadWkt("POINT (1e999 0)").ok());
+}
+
+TEST(WktReadTest, RejectsTrailingGarbage) {
+  // A valid geometry followed by anything else is an error, not a silent
+  // accept of the prefix (matches the geosim reader's behavior).
+  EXPECT_FALSE(ReadWkt("POINT (1 2) x").ok());
+  EXPECT_FALSE(ReadWkt("POINT (1 2))").ok());
+  EXPECT_FALSE(ReadWkt("POINT (1 2) POINT (3 4)").ok());
+  EXPECT_FALSE(ReadWkt("LINESTRING (0 0, 1 1),").ok());
+  EXPECT_FALSE(ReadWkt("POLYGON ((0 0, 1 0, 1 1, 0 0)) junk").ok());
+  EXPECT_FALSE(ReadWkt("MULTIPOINT (1 2) 7").ok());
+  EXPECT_FALSE(ReadWkt("POINT EMPTY (1 2)").ok());
+  EXPECT_FALSE(ReadWkt("POLYGON EMPTY EMPTY").ok());
+  // Trailing whitespace is still fine.
+  EXPECT_TRUE(ReadWkt("POINT (1 2)  \t").ok());
+  EXPECT_TRUE(ReadWkt("POLYGON EMPTY  ").ok());
+}
+
 TEST(WktWriteTest, Point) {
   EXPECT_EQ(WriteWkt(Geometry::MakePoint(1.5, -2.0)), "POINT (1.5 -2)");
 }
