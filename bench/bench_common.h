@@ -29,12 +29,18 @@ namespace cloudjoin::bench {
 class PaperBench {
  public:
   /// Flags: --scale (default 1.0), --seed, --partitions (Spark), --nodes.
+  /// Probe-side flags (columnar filter pipeline, all defaulting to the
+  /// engines' defaults): --probe_batch, --hilbert, --packed.
   explicit PaperBench(const Flags& flags)
       : scale_(flags.GetDouble("scale", 1.0)),
         seed_(static_cast<uint64_t>(flags.GetInt("seed", 2015))),
         num_partitions_(static_cast<int>(flags.GetInt("partitions", 64))),
         fs_(/*num_nodes=*/10, /*block_size=*/
             flags.GetInt("block_kb", 32) * 1024) {
+    probe_.batch_size = static_cast<int>(
+        flags.GetInt("probe_batch", probe_.batch_size));
+    probe_.hilbert_sort = flags.GetBool("hilbert", probe_.hilbert_sort);
+    probe_.packed_tree = flags.GetBool("packed", probe_.packed_tree);
     auto suite = data::MaterializeWorkloads(&fs_, scale_, seed_);
     CLOUDJOIN_CHECK(suite.ok()) << suite.status();
     suite_ = std::move(suite).value();
@@ -45,6 +51,7 @@ class PaperBench {
   double scale() const { return scale_; }
   int num_partitions() const { return num_partitions_; }
   const sim::CostModel& cost() const { return cost_; }
+  const join::ProbeOptions& probe() const { return probe_; }
 
   std::vector<data::Workload> AllWorkloads() const {
     return {suite_.taxi_nycb, suite_.taxi_lion_100, suite_.taxi_lion_500,
@@ -56,7 +63,7 @@ class PaperBench {
   join::SparkJoinRun RunSpark(
       const data::Workload& workload,
       const join::PrepareOptions& prepare = join::PrepareOptions()) {
-    join::SpatialSparkSystem system(&fs_, num_partitions_, prepare);
+    join::SpatialSparkSystem system(&fs_, num_partitions_, prepare, probe_);
     auto run = system.Join(workload.left, workload.right, workload.predicate);
     CLOUDJOIN_CHECK(run.ok()) << run.status();
     return std::move(run).value();
@@ -71,6 +78,7 @@ class PaperBench {
     impala::QueryOptions options;
     options.cache_parsed_geometries = cache_parsed;
     options.prepare_geometries = prepare_geometries;
+    options.probe = probe_;
     auto run = system.Join(workload.left, workload.right, workload.predicate,
                            options);
     CLOUDJOIN_CHECK(run.ok()) << run.status();
@@ -83,7 +91,7 @@ class PaperBench {
       const join::PrepareOptions& prepare = join::PrepareOptions()) {
     join::StandaloneMc system(&fs_);
     auto run = system.Join(workload.left, workload.right, workload.predicate,
-                           prepare);
+                           prepare, /*prebuilt=*/nullptr, probe_);
     CLOUDJOIN_CHECK(run.ok()) << run.status();
     return std::move(run).value();
   }
@@ -163,6 +171,7 @@ class PaperBench {
   double scale_;
   uint64_t seed_;
   int num_partitions_;
+  join::ProbeOptions probe_;
   dfs::SimFileSystem fs_;
   data::WorkloadSuite suite_;
   sim::CostModel cost_;

@@ -1,13 +1,16 @@
 // Index microbenchmarks (google-benchmark): STR-tree bulk load and query
-// versus the dynamic R-tree, the uniform grid, and brute-force filtering —
-// the spatial-filtering side of the paper's filter/refine decomposition.
+// versus its packed (columnar SoA) layout, the dynamic R-tree, the uniform
+// grid, and brute-force filtering — the spatial-filtering side of the
+// paper's filter/refine decomposition.
 
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
 #include "common/rng.h"
+#include "geom/envelope_batch.h"
 #include "index/grid_index.h"
+#include "index/packed_str_tree.h"
 #include "index/rtree.h"
 #include "index/str_tree.h"
 
@@ -86,6 +89,48 @@ void BM_RTreeQuery(benchmark::State& state) {
   benchmark::DoNotOptimize(hits);
 }
 BENCHMARK(BM_RTreeQuery)->Arg(10000)->Arg(100000);
+
+void BM_PackedStrTreeBuild(benchmark::State& state) {
+  StrTree tree(MakeEntries(state.range(0), 11));
+  for (auto _ : state) {
+    index::PackedStrTree packed(tree);
+    benchmark::DoNotOptimize(packed.num_entries());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PackedStrTreeBuild)->Arg(10000)->Arg(100000);
+
+void BM_PackedStrTreeQuery(benchmark::State& state) {
+  StrTree tree(MakeEntries(state.range(0), 13));
+  index::PackedStrTree packed(tree);
+  Rng rng(17);
+  int64_t hits = 0;
+  for (auto _ : state) {
+    geom::Envelope q = RandomQuery(&rng);
+    packed.VisitQuery(q, [&hits](int64_t) { ++hits; });
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_PackedStrTreeQuery)->Arg(10000)->Arg(100000);
+
+void BM_PackedStrTreeBatchQuery(benchmark::State& state) {
+  StrTree tree(MakeEntries(state.range(0), 13));
+  index::PackedStrTree packed(tree);
+  Rng rng(17);
+  geom::EnvelopeBatch batch;
+  index::PairSink sink;
+  for (auto _ : state) {
+    state.PauseTiming();
+    batch.Clear();
+    for (int i = 0; i < 256; ++i) batch.Add(RandomQuery(&rng));
+    state.ResumeTiming();
+    sink.Clear();
+    benchmark::DoNotOptimize(packed.BatchQuery(batch, &sink));
+    benchmark::DoNotOptimize(sink.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_PackedStrTreeBatchQuery)->Arg(10000)->Arg(100000);
 
 void BM_GridQuery(benchmark::State& state) {
   UniformGrid grid(geom::Envelope(0, 0, 10000, 10000), 64, 64);

@@ -28,14 +28,16 @@ void Run(const Flags& flags) {
 
   // --prepared=1 switches every system onto prepared-geometry refinement
   // (identical results, faster probe phase); the paper's faithful exact
-  // refinement is the default.
+  // refinement is the default. --probe_batch/--hilbert/--packed tune the
+  // columnar filter pipeline the same way across all three systems.
   const bool prepared = flags.GetBool("prepared", false);
   join::PrepareOptions prepare;
   prepare.enabled = prepared;
 
   sim::ClusterSpec node = sim::ClusterSpec::InHouseSingleNode();
-  std::printf("cluster: %s\nprepared refinement: %s\n\n",
-              node.ToString().c_str(), prepared ? "on" : "off");
+  std::printf("cluster: %s\nprepared refinement: %s\nprobe pipeline: %s\n\n",
+              node.ToString().c_str(), prepared ? "on" : "off",
+              bench.probe().Fingerprint().c_str());
   PrintRowHeader("experiment",
                  {"SpatialSpark", "ISP-MC", "Standalone", "SS/ISP", "infra%"});
 

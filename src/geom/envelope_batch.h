@@ -1,0 +1,59 @@
+#ifndef CLOUDJOIN_GEOM_ENVELOPE_BATCH_H_
+#define CLOUDJOIN_GEOM_ENVELOPE_BATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/envelope.h"
+
+namespace cloudjoin::geom {
+
+/// A struct-of-arrays batch of query envelopes — the probe-side analogue of
+/// the packed tree's entry columns. Engines collect a row-batch of probe
+/// MBBs here before handing the whole batch to the filter, mirroring
+/// ISP-MC's vectorized execution model.
+class EnvelopeBatch {
+ public:
+  void Reserve(size_t n) {
+    min_x_.reserve(n);
+    min_y_.reserve(n);
+    max_x_.reserve(n);
+    max_y_.reserve(n);
+  }
+
+  void Clear() {
+    min_x_.clear();
+    min_y_.clear();
+    max_x_.clear();
+    max_y_.clear();
+  }
+
+  void Add(const Envelope& e) {
+    min_x_.push_back(e.min_x());
+    min_y_.push_back(e.min_y());
+    max_x_.push_back(e.max_x());
+    max_y_.push_back(e.max_y());
+  }
+
+  size_t size() const { return min_x_.size(); }
+  bool empty() const { return min_x_.empty(); }
+
+  Envelope At(size_t i) const {
+    return Envelope(min_x_[i], min_y_[i], max_x_[i], max_y_[i]);
+  }
+
+  const double* min_x() const { return min_x_.data(); }
+  const double* min_y() const { return min_y_.data(); }
+  const double* max_x() const { return max_x_.data(); }
+  const double* max_y() const { return max_y_.data(); }
+
+ private:
+  std::vector<double> min_x_;
+  std::vector<double> min_y_;
+  std::vector<double> max_x_;
+  std::vector<double> max_y_;
+};
+
+}  // namespace cloudjoin::geom
+
+#endif  // CLOUDJOIN_GEOM_ENVELOPE_BATCH_H_

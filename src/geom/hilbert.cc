@@ -1,0 +1,68 @@
+#include "geom/hilbert.h"
+
+#include <cmath>
+
+namespace cloudjoin::geom {
+
+namespace {
+
+/// One quadrant rotation/reflection step of the classic Hilbert d2xy/xy2d
+/// construction.
+inline void HilbertRotate(uint32_t n, uint32_t* x, uint32_t* y, uint32_t rx,
+                          uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = n - 1 - *x;
+      *y = n - 1 - *y;
+    }
+    uint32_t t = *x;
+    *x = *y;
+    *y = t;
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertXy2d(uint32_t order, uint32_t x, uint32_t y) {
+  uint64_t d = 0;
+  for (uint32_t s = 1u << (order - 1); s > 0; s >>= 1) {
+    uint32_t rx = (x & s) > 0 ? 1 : 0;
+    uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    HilbertRotate(s, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+HilbertEncoder::HilbertEncoder(const Envelope& extent) {
+  if (extent.IsEmpty()) return;
+  if (!std::isfinite(extent.min_x()) || !std::isfinite(extent.max_x()) ||
+      !std::isfinite(extent.min_y()) || !std::isfinite(extent.max_y())) {
+    return;
+  }
+  min_x_ = extent.min_x();
+  min_y_ = extent.min_y();
+  const double cells = static_cast<double>((1u << kOrder) - 1);
+  const double width = extent.max_x() - min_x_;
+  const double height = extent.max_y() - min_y_;
+  scale_x_ = width > 0.0 ? cells / width : 0.0;
+  scale_y_ = height > 0.0 ? cells / height : 0.0;
+  valid_ = true;
+}
+
+uint64_t HilbertEncoder::Key(const Envelope& e) const {
+  if (!valid_ || e.IsEmpty()) return 0;
+  const Point c = e.Center();
+  if (!std::isfinite(c.x) || !std::isfinite(c.y)) return 0;
+  const double max_cell = static_cast<double>((1u << kOrder) - 1);
+  double fx = (c.x - min_x_) * scale_x_;
+  double fy = (c.y - min_y_) * scale_y_;
+  if (fx < 0.0) fx = 0.0;
+  if (fy < 0.0) fy = 0.0;
+  if (fx > max_cell) fx = max_cell;
+  if (fy > max_cell) fy = max_cell;
+  return HilbertXy2d(kOrder, static_cast<uint32_t>(fx),
+                     static_cast<uint32_t>(fy));
+}
+
+}  // namespace cloudjoin::geom

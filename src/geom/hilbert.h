@@ -1,0 +1,44 @@
+#ifndef CLOUDJOIN_GEOM_HILBERT_H_
+#define CLOUDJOIN_GEOM_HILBERT_H_
+
+#include <cstdint>
+
+#include "geom/envelope.h"
+
+namespace cloudjoin::geom {
+
+/// Distance along the order-`order` Hilbert curve of the cell `(x, y)` on
+/// the 2^order x 2^order grid. Coordinates above the grid are clamped by
+/// the caller (see HilbertEncoder).
+uint64_t HilbertXy2d(uint32_t order, uint32_t x, uint32_t y);
+
+/// Maps envelope centers into Hilbert-curve positions over a fixed extent.
+///
+/// Probe batches are sorted by this key before hitting the index so
+/// consecutive probes land in the same subtree (spatial locality — the
+/// reason SpatialSpark and ISP-MC both tile their inputs). The key only
+/// influences *visit order*, never the result set, so degenerate inputs
+/// (empty or NaN envelopes, empty extent) simply map to key 0.
+class HilbertEncoder {
+ public:
+  /// Curve resolution: 2^16 cells per axis, keys fit in 32 bits.
+  static constexpr uint32_t kOrder = 16;
+
+  explicit HilbertEncoder(const Envelope& extent);
+
+  /// Hilbert position of `e`'s center within the extent (0 for degenerate
+  /// envelopes or centers outside the extent's representable range).
+  uint64_t Key(const Envelope& e) const;
+
+ private:
+  double min_x_ = 0.0;
+  double min_y_ = 0.0;
+  /// Units: curve cells per coordinate unit; 0 disables the axis.
+  double scale_x_ = 0.0;
+  double scale_y_ = 0.0;
+  bool valid_ = false;
+};
+
+}  // namespace cloudjoin::geom
+
+#endif  // CLOUDJOIN_GEOM_HILBERT_H_

@@ -6,6 +6,7 @@
 #include "common/strings.h"
 #include "geom/wkt.h"
 #include "geosim/wkt_reader.h"
+#include "index/batch_prober.h"
 
 namespace cloudjoin::impala {
 
@@ -183,7 +184,8 @@ Result<std::unique_ptr<BroadcastRight>> BuildBroadcastRight(
     }
   }
   right->tree = std::make_unique<index::StrTree>(std::move(entries));
-  right->bytes += right->tree->MemoryBytes();
+  right->packed = std::make_unique<index::PackedStrTree>(*right->tree);
+  right->bytes += right->tree->MemoryBytes() + right->packed->MemoryBytes();
   right->build_seconds = watch.ElapsedSeconds();
   counters->Add("broadcast.rows", static_cast<int64_t>(right->rows.size()));
   return right;
@@ -198,6 +200,7 @@ int64_t BroadcastRight::MemoryBytes() const {
     total += static_cast<int64_t>(sizeof(std::string) + s.capacity());
   }
   if (tree != nullptr) total += tree->MemoryBytes();
+  if (packed != nullptr) total += packed->MemoryBytes();
   for (const auto& g : parsed) {
     // Heap coordinate sequence plus virtual-object overhead.
     if (g != nullptr) {
@@ -217,123 +220,157 @@ SpatialJoinNode::SpatialJoinNode(
     const SpatialJoinSpec* spec,
     const std::vector<std::unique_ptr<Expr>>* post_filters,
     const std::vector<const Expr*>* output_exprs, bool cache_parsed,
-    Counters* counters)
+    Counters* counters, const index::ProbeOptions& probe)
     : left_child_(std::move(left_child)),
       right_(right),
       spec_(spec),
       post_filters_(post_filters),
       output_exprs_(output_exprs),
       cache_parsed_(cache_parsed),
-      counters_(counters) {}
+      counters_(counters),
+      probe_(probe) {}
 
 Status SpatialJoinNode::Open() { return left_child_->Open(); }
 
 void SpatialJoinNode::Close() { left_child_->Close(); }
 
-void SpatialJoinNode::ProcessLeftRow(const Row& left_row, RowBatch*) {
-  const auto* left_wkt = std::get_if<std::string>(
-      &left_row[static_cast<size_t>(spec_->left_geom_slot)]);
-  if (left_wkt == nullptr) {
-    counters_->Add("join.null_left_geom", 1);
-    return;
-  }
-  // Probe-side parse (the paper's second parsing site).
+void SpatialJoinNode::ProcessLeftBatch(const RowBatch& left_rows) {
+  // Parse phase: materialize the batch's probe geometries (the paper's
+  // second parsing site), dropping null/bad geometry rows with counters.
+  probe_rows_.clear();
+  probe_wkt_.clear();
+  probe_geoms_.clear();
   geosim::WKTReader reader(&GeosFactory());
-  auto parsed = reader.read(*left_wkt);
-  if (!parsed.ok()) {
-    counters_->Add("join.bad_left_geom", 1);
-    return;
+  for (int r = 0; r < left_rows.NumRows(); ++r) {
+    const Row& left_row = left_rows.row(r);
+    const auto* left_wkt = std::get_if<std::string>(
+        &left_row[static_cast<size_t>(spec_->left_geom_slot)]);
+    if (left_wkt == nullptr) {
+      counters_->Add("join.null_left_geom", 1);
+      continue;
+    }
+    auto parsed = reader.read(*left_wkt);
+    if (!parsed.ok()) {
+      counters_->Add("join.bad_left_geom", 1);
+      continue;
+    }
+    probe_rows_.push_back(&left_row);
+    probe_wkt_.push_back(left_wkt);
+    probe_geoms_.push_back(std::move(parsed).value());
   }
-  const geosim::Geometry& left_geom = **parsed;
+  if (probe_rows_.empty()) return;
 
-  candidates_.clear();
-  right_->tree->VisitQuery(left_geom.getEnvelopeInternal(),
-                           [this](int64_t id) { candidates_.push_back(id); });
-  counters_->Add("join.candidates",
-                 static_cast<int64_t>(candidates_.size()));
-
-  // Prepared refinement applies when the right side carries grids, the
-  // predicate is a point-in-polygon test, and this probe is a point.
-  const geosim::PointImpl* left_point = nullptr;
-  if (!right_->prepared.empty() &&
-      spec_->predicate == SpatialJoinSpec::Predicate::kWithin &&
-      left_geom.getGeometryTypeId() == geosim::GeometryTypeId::kPoint) {
-    left_point = static_cast<const geosim::PointImpl*>(&left_geom);
-  }
+  // Filter + refine: the whole row batch goes through the columnar driver
+  // (packed tree, Hilbert ordering per probe_), and candidates come back
+  // probe-ascending so output row order matches per-row execution.
+  const bool has_distance =
+      spec_->predicate == SpatialJoinSpec::Predicate::kNearestD;
+  int64_t batch_candidates = 0;
+  int64_t refinements = 0;
   int64_t prepared_hits = 0;
   int64_t boundary_fallbacks = 0;
+  int64_t current_probe = -1;
+  const geosim::PointImpl* left_point = nullptr;
+  index::BatchStats filter_stats;
+  index::RunBatchedProbes(
+      static_cast<int64_t>(probe_geoms_.size()), *right_->tree,
+      right_->packed.get(), probe_,
+      [&](int64_t i) {
+        return probe_geoms_[static_cast<size_t>(i)]->getEnvelopeInternal();
+      },
+      [&](int64_t i, int64_t id) {
+        ++batch_candidates;
+        const geosim::Geometry& left_geom =
+            *probe_geoms_[static_cast<size_t>(i)];
+        if (i != current_probe) {
+          // First candidate of probe i: set up the per-probe refinement
+          // state (candidates arrive grouped by probe, in row order).
+          current_probe = i;
+          left_point = nullptr;
+          if (!right_->prepared.empty() &&
+              spec_->predicate == SpatialJoinSpec::Predicate::kWithin &&
+              left_geom.getGeometryTypeId() ==
+                  geosim::GeometryTypeId::kPoint) {
+            left_point = static_cast<const geosim::PointImpl*>(&left_geom);
+          }
+          if (!cache_parsed_) {
+            // Prepare the UDF argument slots once per probe row; only the
+            // right geometry slot changes per candidate.
+            udf_args_.resize(has_distance ? 3 : 2);
+            udf_args_[0] = *probe_wkt_[static_cast<size_t>(i)];
+            if (has_distance) udf_args_[2] = spec_->distance;
+          }
+        }
+        bool match = false;
+        const geom::PreparedPolygon* prep =
+            left_point != nullptr
+                ? right_->prepared[static_cast<size_t>(id)].get()
+                : nullptr;
+        if (prep != nullptr) {
+          ++prepared_hits;
+          bool fallback = false;
+          match = prep->Contains(
+              geom::Point{left_point->getX(), left_point->getY()}, &fallback);
+          if (fallback) ++boundary_fallbacks;
+        } else if (cache_parsed_) {
+          // Ablation: reuse parsed geometries instead of re-parsing WKT.
+          const geosim::Geometry* right_geom =
+              right_->parsed[static_cast<size_t>(id)].get();
+          switch (spec_->predicate) {
+            case SpatialJoinSpec::Predicate::kWithin:
+              match = left_geom.within(right_geom);
+              break;
+            case SpatialJoinSpec::Predicate::kNearestD:
+              match = left_geom.isWithinDistance(right_geom, spec_->distance);
+              break;
+            case SpatialJoinSpec::Predicate::kIntersects:
+              match = left_geom.intersects(right_geom);
+              break;
+          }
+        } else {
+          // Faithful ISP-MC refinement: the UDF receives WKT strings and
+          // parses both geometries again (the paper's third parsing site).
+          // The args vector is reused across pairs (Impala passes slot
+          // references, not fresh copies).
+          udf_args_[1] = right_->wkt[static_cast<size_t>(id)];
+          Value v = spec_->refine_udf->fn(udf_args_);
+          const bool* b = std::get_if<bool>(&v);
+          match = b != nullptr && *b;
+        }
+        ++refinements;
+        if (!match) return;
 
-  if (!cache_parsed_) {
-    // Prepare the UDF argument slots once per probe row; only the right
-    // geometry slot changes per candidate.
-    const bool has_distance =
-        spec_->predicate == SpatialJoinSpec::Predicate::kNearestD;
-    udf_args_.resize(has_distance ? 3 : 2);
-    udf_args_[0] = *left_wkt;
-    if (has_distance) udf_args_[2] = spec_->distance;
-  }
+        const Row& left_row = *probe_rows_[static_cast<size_t>(i)];
+        const Row& right_row = right_->rows[static_cast<size_t>(id)];
+        bool keep = true;
+        for (const auto& filter : *post_filters_) {
+          if (!filter->EvaluatesTrue(&left_row, &right_row)) {
+            keep = false;
+            break;
+          }
+        }
+        if (!keep) return;
 
-  for (int64_t id : candidates_) {
-    bool match = false;
-    const geom::PreparedPolygon* prep =
-        left_point != nullptr ? right_->prepared[static_cast<size_t>(id)].get()
-                              : nullptr;
-    if (prep != nullptr) {
-      ++prepared_hits;
-      bool fallback = false;
-      match = prep->Contains(
-          geom::Point{left_point->getX(), left_point->getY()}, &fallback);
-      if (fallback) ++boundary_fallbacks;
-    } else if (cache_parsed_) {
-      // Ablation: reuse parsed geometries instead of re-parsing WKT.
-      const geosim::Geometry* right_geom =
-          right_->parsed[static_cast<size_t>(id)].get();
-      switch (spec_->predicate) {
-        case SpatialJoinSpec::Predicate::kWithin:
-          match = left_geom.within(right_geom);
-          break;
-        case SpatialJoinSpec::Predicate::kNearestD:
-          match = left_geom.isWithinDistance(right_geom, spec_->distance);
-          break;
-        case SpatialJoinSpec::Predicate::kIntersects:
-          match = left_geom.intersects(right_geom);
-          break;
-      }
-    } else {
-      // Faithful ISP-MC refinement: the UDF receives WKT strings and parses
-      // both geometries again (the paper's third parsing site). The args
-      // vector is reused across pairs (Impala passes slot references, not
-      // fresh copies).
-      udf_args_[1] = right_->wkt[static_cast<size_t>(id)];
-      Value v = spec_->refine_udf->fn(udf_args_);
-      const bool* b = std::get_if<bool>(&v);
-      match = b != nullptr && *b;
-    }
-    counters_->Add("join.refinements", 1);
-    if (!match) continue;
-
-    const Row& right_row = right_->rows[static_cast<size_t>(id)];
-    bool keep = true;
-    for (const auto& filter : *post_filters_) {
-      if (!filter->EvaluatesTrue(&left_row, &right_row)) {
-        keep = false;
-        break;
-      }
-    }
-    if (!keep) continue;
-
-    Row out;
-    out.reserve(output_exprs_->size());
-    for (const Expr* expr : *output_exprs_) {
-      out.push_back(expr->Evaluate(&left_row, &right_row));
-    }
-    pending_.push_back(std::move(out));
-  }
+        Row out;
+        out.reserve(output_exprs_->size());
+        for (const Expr* expr : *output_exprs_) {
+          out.push_back(expr->Evaluate(&left_row, &right_row));
+        }
+        pending_.push_back(std::move(out));
+      },
+      &filter_stats);
+  counters_->Add("join.candidates", batch_candidates);
+  if (refinements > 0) counters_->Add("join.refinements", refinements);
   if (prepared_hits > 0) {
     counters_->Add("join.prepared_hits", prepared_hits);
   }
   if (boundary_fallbacks > 0) {
     counters_->Add("join.boundary_fallbacks", boundary_fallbacks);
+  }
+  counters_->Add("join.filter_batches", filter_stats.batches);
+  counters_->Add("join.filter_candidates", filter_stats.candidates);
+  if (filter_stats.simd_lanes > 0) {
+    counters_->Add("join.filter_simd_lanes_used", filter_stats.simd_lanes);
   }
 }
 
@@ -346,16 +383,11 @@ Status SpatialJoinNode::GetNext(RowBatch* batch, bool* eos) {
     }
     pending_.clear();
     pending_idx_ = 0;
-    if (left_idx_ < left_batch_.NumRows()) {
-      ProcessLeftRow(left_batch_.row(left_idx_++), batch);
-      continue;
-    }
     if (left_eos_) break;
     CLOUDJOIN_RETURN_IF_ERROR(left_child_->GetNext(&left_batch_, &left_eos_));
-    left_idx_ = 0;
+    ProcessLeftBatch(left_batch_);
   }
-  *eos = pending_idx_ >= pending_.size() &&
-         left_idx_ >= left_batch_.NumRows() && left_eos_;
+  *eos = pending_idx_ >= pending_.size() && left_eos_;
   return Status::OK();
 }
 

@@ -13,6 +13,8 @@
 #include "impala/analyzer.h"
 #include "impala/catalog.h"
 #include "impala/types.h"
+#include "index/packed_str_tree.h"
+#include "index/probe_options.h"
 #include "index/str_tree.h"
 
 namespace cloudjoin::impala {
@@ -72,6 +74,9 @@ struct BroadcastRight {
   /// WKT string per row (borrowed view into rows for refinement calls).
   std::vector<std::string> wkt;
   std::unique_ptr<index::StrTree> tree;
+  /// Columnar (SoA) layout pass over `tree`, broadcast and cached with it
+  /// so every fragment probes the packed columns without a rebuild.
+  std::unique_ptr<index::PackedStrTree> packed;
   /// Parsed geometries, filled only when geometry caching is enabled (the
   /// reuse-parsed-geometries ablation; off = the paper's faithful re-parse
   /// behaviour).
@@ -112,14 +117,18 @@ class SpatialJoinNode final : public ExecNode {
                   const BroadcastRight* right, const SpatialJoinSpec* spec,
                   const std::vector<std::unique_ptr<Expr>>* post_filters,
                   const std::vector<const Expr*>* output_exprs,
-                  bool cache_parsed, Counters* counters);
+                  bool cache_parsed, Counters* counters,
+                  const index::ProbeOptions& probe = index::ProbeOptions());
 
   Status Open() override;
   Status GetNext(RowBatch* batch, bool* eos) override;
   void Close() override;
 
  private:
-  void ProcessLeftRow(const Row& left_row, RowBatch* out);
+  /// Probes one whole left row batch through the columnar filter (parse
+  /// all geometries, batch the envelopes, refine off the dense candidate
+  /// buffer in row order), appending join output rows to pending_.
+  void ProcessLeftBatch(const RowBatch& left_rows);
 
   std::unique_ptr<ExecNode> left_child_;
   const BroadcastRight* right_;
@@ -128,14 +137,18 @@ class SpatialJoinNode final : public ExecNode {
   const std::vector<const Expr*>* output_exprs_;
   bool cache_parsed_;
   Counters* counters_;
+  index::ProbeOptions probe_;
   RowBatch left_batch_;
-  int left_idx_ = 0;
   bool left_eos_ = false;
-  // Carry-over rows when a probe overflows the output batch.
+  // Carry-over rows when a probe batch overflows the output batch.
   std::vector<Row> pending_;
   size_t pending_idx_ = 0;
-  std::vector<int64_t> candidates_;  // scratch
-  std::vector<Value> udf_args_;      // scratch, reused across pairs
+  // Per-batch probe scratch, reused across batches: the rows that parsed
+  // to a geometry, their WKT, and the parsed geometries themselves.
+  std::vector<const Row*> probe_rows_;
+  std::vector<const std::string*> probe_wkt_;
+  std::vector<std::unique_ptr<geosim::Geometry>> probe_geoms_;
+  std::vector<Value> udf_args_;  // scratch, reused across pairs
 };
 
 /// Nested-loop cross join against the broadcast right side (the naive

@@ -98,6 +98,7 @@ std::string BroadcastFingerprint::Key() const {
   key += "|need=" + needed_slots;
   if (cache_parsed) key += "|parsed";
   if (prepare_geometries) key += "|prepgrid";
+  if (!probe.empty()) key += "|probe=" + probe;
   // Free-form text goes last so the fixed fields parse unambiguously.
   key += "|filters=" + right_filters;
   return key;
@@ -229,6 +230,7 @@ Result<QueryResult> ImpalaRuntime::Execute(const std::string& sql,
       fingerprint.radius = radius;
       fingerprint.cache_parsed = options.cache_parsed_geometries;
       fingerprint.prepare_geometries = options.prepare_geometries;
+      fingerprint.probe = options.probe.Fingerprint();
       CLOUDJOIN_ASSIGN_OR_RETURN(
           right, options.broadcast_provider->GetOrBuild(fingerprint, build,
                                                         &cache_hit));
@@ -260,7 +262,8 @@ Result<QueryResult> ImpalaRuntime::Execute(const std::string& sql,
       tree = std::make_unique<SpatialJoinNode>(
           std::move(scan), right.get(), &*query->spatial_join,
           &query->post_join_filters, &output_exprs,
-          options.cache_parsed_geometries, &result.metrics.counters);
+          options.cache_parsed_geometries, &result.metrics.counters,
+          options.probe);
     } else if (query->join_kind != JoinKind::kNone) {
       tree = std::make_unique<CrossJoinNode>(
           std::move(scan), right.get(), &query->post_join_filters,

@@ -11,6 +11,7 @@
 #include "dfs/sim_file_system.h"
 #include "impala/catalog.h"
 #include "impala/types.h"
+#include "index/probe_options.h"
 
 namespace cloudjoin::impala {
 
@@ -39,6 +40,11 @@ struct BroadcastFingerprint {
   double radius = 0.0;
   bool cache_parsed = false;
   bool prepare_geometries = false;
+  /// Probe-side tuning (`index::ProbeOptions::Fingerprint()`), keyed so a
+  /// cached index is never handed to a query running an incompatible probe
+  /// configuration (e.g. an A/B sweep comparing packed vs pointer walks
+  /// must not let one arm's warm cache mask the other arm's build cost).
+  std::string probe;
 
   /// Canonical cache-key rendering (injective over the fields above).
   std::string Key() const;
@@ -83,6 +89,10 @@ struct QueryOptions {
   /// `right_build_seconds = 0`, `broadcast_bytes = 0` (the index is
   /// already resident), and a `join.index_cache_hit` counter.
   BroadcastProvider* broadcast_provider = nullptr;
+  /// Columnar filter tuning for the spatial join's probe phase (batch
+  /// size, Hilbert ordering, packed-tree kernel). Defaults on; results are
+  /// byte-identical for every combination.
+  index::ProbeOptions probe;
 };
 
 /// Measured timing of one left-table scan range (≈ one plan-fragment

@@ -1,0 +1,67 @@
+#include "index/packed_str_tree.h"
+
+#include <limits>
+
+namespace cloudjoin::index {
+
+PackedStrTree::PackedStrTree(const StrTree& tree)
+    : root_(tree.root()),
+      bounds_(tree.bounds()),
+      filter_(ResolveFilterChunk()),
+      simd_active_(SimdFilterActive()) {
+  const std::vector<StrTree::Entry>& entries = tree.entries();
+  const size_t n = entries.size();
+  // The id column is the real size; the coordinate columns carry 4 trailing
+  // sentinel envelopes (empty: +inf mins, -inf maxes, which no query can
+  // match) so unaligned 4-wide vector loads at a leaf's tail never read
+  // past the allocation.
+  const size_t padded = n + 4;
+  min_x_.resize(padded, std::numeric_limits<double>::infinity());
+  min_y_.resize(padded, std::numeric_limits<double>::infinity());
+  max_x_.resize(padded, -std::numeric_limits<double>::infinity());
+  max_y_.resize(padded, -std::numeric_limits<double>::infinity());
+  id_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    min_x_[i] = entries[i].envelope.min_x();
+    min_y_[i] = entries[i].envelope.min_y();
+    max_x_[i] = entries[i].envelope.max_x();
+    max_y_[i] = entries[i].envelope.max_y();
+    id_[i] = entries[i].id;
+  }
+  const std::vector<StrTree::Node>& src_nodes = tree.nodes();
+  const size_t m = src_nodes.size();
+  const size_t padded_nodes = m + 4;
+  node_min_x_.resize(padded_nodes, std::numeric_limits<double>::infinity());
+  node_min_y_.resize(padded_nodes, std::numeric_limits<double>::infinity());
+  node_max_x_.resize(padded_nodes, -std::numeric_limits<double>::infinity());
+  node_max_y_.resize(padded_nodes, -std::numeric_limits<double>::infinity());
+  nodes_.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    const StrTree::Node& node = src_nodes[i];
+    node_min_x_[i] = node.envelope.min_x();
+    node_min_y_[i] = node.envelope.min_y();
+    node_max_x_[i] = node.envelope.max_x();
+    node_max_y_[i] = node.envelope.max_y();
+    nodes_.push_back(Node{node.first_child, node.num_children, node.is_leaf});
+  }
+}
+
+int64_t PackedStrTree::BatchQuery(const geom::EnvelopeBatch& batch,
+                                  PairSink* sink) const {
+  int64_t simd_lanes = 0;
+  const size_t n = batch.size();
+  for (size_t p = 0; p < n; ++p) {
+    const int32_t probe = static_cast<int32_t>(p);
+    simd_lanes += VisitQuery(batch.At(p),
+                             [&](int64_t id) { sink->Push(probe, id); });
+  }
+  return simd_lanes;
+}
+
+int64_t PackedStrTree::MemoryBytes() const {
+  return static_cast<int64_t>(
+      (min_x_.capacity() + node_min_x_.capacity()) * 4 * sizeof(double) +
+      id_.capacity() * sizeof(int64_t) + nodes_.capacity() * sizeof(Node));
+}
+
+}  // namespace cloudjoin::index

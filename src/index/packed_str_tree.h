@@ -1,0 +1,190 @@
+#ifndef CLOUDJOIN_INDEX_PACKED_STR_TREE_H_
+#define CLOUDJOIN_INDEX_PACKED_STR_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "geom/envelope.h"
+#include "geom/envelope_batch.h"
+#include "index/simd_filter.h"
+#include "index/str_tree.h"
+
+namespace cloudjoin::index {
+
+/// Dense (probe, entry-id) candidate buffer filled by the filter phase and
+/// consumed by refinement. Struct-of-arrays like everything else on this
+/// path: refinement streams two flat columns instead of chasing pairs.
+class PairSink {
+ public:
+  void Clear() {
+    probe_.clear();
+    id_.clear();
+  }
+
+  void Push(int32_t probe, int64_t id) {
+    probe_.push_back(probe);
+    id_.push_back(id);
+  }
+
+  size_t size() const { return probe_.size(); }
+  bool empty() const { return probe_.empty(); }
+
+  /// Index of the probe within the batch handed to BatchQuery.
+  int32_t probe(size_t i) const { return probe_[i]; }
+  int64_t id(size_t i) const { return id_[i]; }
+
+ private:
+  std::vector<int32_t> probe_;
+  std::vector<int64_t> id_;
+};
+
+/// Columnar (struct-of-arrays) layout pass over a built StrTree.
+///
+/// The pointer tree tests one `Envelope::Intersects` per entry — four
+/// branchy compares against a 32-byte struct. This layout flattens the
+/// STR-permuted entries into parallel `min_x[] / min_y[] / max_x[] /
+/// max_y[] / id[]` columns (level-ordered: each leaf owns a contiguous
+/// column range, adjacent leaves adjacent ranges) and mirrors the node
+/// envelopes into columns of their own, so a whole leaf — and, during the
+/// descent, a node's whole child list — is tested with one branch-free
+/// kernel call the compiler — or the explicit AVX2 kernel behind
+/// CLOUDJOIN_ENABLE_SIMD — can vectorize.
+///
+/// Structure is copied verbatim from the source tree and the traversal
+/// replays StrTree::VisitQuery's stack discipline exactly, so candidates
+/// come out in the *same order* as the pointer tree for every query —
+/// scalar and SIMD kernels are byte-identical by construction (the mask is
+/// iterated in ascending bit order).
+class PackedStrTree {
+ public:
+  explicit PackedStrTree(const StrTree& tree);
+
+  PackedStrTree(const PackedStrTree&) = delete;
+  PackedStrTree& operator=(const PackedStrTree&) = delete;
+  PackedStrTree(PackedStrTree&&) = default;
+  PackedStrTree& operator=(PackedStrTree&&) = default;
+
+  /// Invokes `visit(id)` for every entry whose envelope intersects `query`,
+  /// in StrTree::VisitQuery order. Returns the number of SIMD lanes the
+  /// explicit kernel processed (0 on the scalar path) — callers accumulate
+  /// it into the join.filter_simd_lanes_used counter.
+  template <typename Visitor>
+  int64_t VisitQuery(const geom::Envelope& query, Visitor&& visit) const {
+    // Same early-out as StrTree: empty trees and degenerate (empty / NaN)
+    // queries never reach the kernel, so the kernel only ever sees queries
+    // with ordered, non-NaN bounds.
+    if (root_ < 0 || !query.Intersects(bounds_)) return 0;
+    const double qmin_x = query.min_x();
+    const double qmin_y = query.min_y();
+    const double qmax_x = query.max_x();
+    const double qmax_y = query.max_y();
+    const FilterChunkFn filter = filter_;
+    int64_t simd_lanes = 0;
+    int32_t stack[kMaxStackDepth];
+    int depth = 0;
+    stack[depth++] = root_;
+    while (depth > 0) {
+      const Node& node = nodes_[stack[--depth]];
+      const int32_t first = node.first_child;
+      const int32_t count = node.num_children;
+      if (node.is_leaf) {
+        for (int32_t base = 0; base < count; base += 64) {
+          const int chunk = static_cast<int>(
+              count - base < 64 ? count - base : 64);
+          uint64_t mask = filter(min_x_.data() + first + base,
+                                 min_y_.data() + first + base,
+                                 max_x_.data() + first + base,
+                                 max_y_.data() + first + base, chunk, qmin_x,
+                                 qmin_y, qmax_x, qmax_y);
+          if (simd_active_) simd_lanes += chunk;
+          while (mask != 0) {
+            const int bit = __builtin_ctzll(mask);
+            mask &= mask - 1;
+            visit(id_[first + base + bit]);
+          }
+        }
+      } else {
+        // The traversal itself is columnar too: one kernel call tests the
+        // node's whole (contiguous) child list, and only intersecting
+        // children are pushed. The pointer walk pushes every child and
+        // skips non-intersecting ones after the pop; pushing the surviving
+        // subset in the same ascending order visits the same nodes in the
+        // same order, so emission stays byte-identical.
+        for (int32_t base = 0; base < count; base += 64) {
+          const int chunk = static_cast<int>(
+              count - base < 64 ? count - base : 64);
+          uint64_t mask = filter(node_min_x_.data() + first + base,
+                                 node_min_y_.data() + first + base,
+                                 node_max_x_.data() + first + base,
+                                 node_max_y_.data() + first + base, chunk,
+                                 qmin_x, qmin_y, qmax_x, qmax_y);
+          if (simd_active_) simd_lanes += chunk;
+          while (mask != 0) {
+            const int bit = __builtin_ctzll(mask);
+            mask &= mask - 1;
+            CLOUDJOIN_DCHECK(depth < kMaxStackDepth);
+            stack[depth++] = first + base + bit;
+          }
+        }
+      }
+    }
+    return simd_lanes;
+  }
+
+  /// Filters every envelope of `batch` through the tree, pushing
+  /// (batch-index, entry-id) candidates into `sink` (appended; callers
+  /// Clear between batches). Candidates are grouped by probe in batch
+  /// order, per-probe in VisitQuery order. Returns SIMD lanes used.
+  int64_t BatchQuery(const geom::EnvelopeBatch& batch, PairSink* sink) const;
+
+  int64_t num_entries() const { return static_cast<int64_t>(id_.size()); }
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+  const geom::Envelope& bounds() const { return bounds_; }
+
+  /// True when queries on this binary+host run the explicit SIMD kernel.
+  bool simd_active() const { return simd_active_; }
+
+  /// Footprint of the packed columns + node mirror (what a cached or
+  /// broadcast index additionally pays for carrying this layout).
+  int64_t MemoryBytes() const;
+
+ private:
+  static constexpr int kMaxStackDepth = 256;
+
+  /// Structural mirror of StrTree::Node. Envelopes live in the node
+  /// columns below (children of one node are contiguous in the node
+  /// array, so a parent bulk-tests its child envelopes with one kernel
+  /// call), keeping this struct at 12 bytes for the pop path.
+  struct Node {
+    int32_t first_child = 0;
+    int32_t num_children = 0;
+    bool is_leaf = true;
+  };
+
+  /// Entry columns, STR order (leaf i owns the same contiguous range as in
+  /// the source tree). Padded with 4 never-matching sentinel boxes so a
+  /// 4-wide vector load at the last real entry stays in bounds.
+  std::vector<double> min_x_;
+  std::vector<double> min_y_;
+  std::vector<double> max_x_;
+  std::vector<double> max_y_;
+  std::vector<int64_t> id_;
+
+  /// Node envelope columns, same index space as `nodes_`, same 4-sentinel
+  /// padding — the traversal's bulk child test reads these.
+  std::vector<double> node_min_x_;
+  std::vector<double> node_min_y_;
+  std::vector<double> node_max_x_;
+  std::vector<double> node_max_y_;
+
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  geom::Envelope bounds_;
+  FilterChunkFn filter_ = nullptr;
+  bool simd_active_ = false;
+};
+
+}  // namespace cloudjoin::index
+
+#endif  // CLOUDJOIN_INDEX_PACKED_STR_TREE_H_

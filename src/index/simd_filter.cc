@@ -1,0 +1,37 @@
+#include "index/simd_filter.h"
+
+namespace cloudjoin::index {
+
+uint64_t FilterChunkScalar(const double* min_x, const double* min_y,
+                           const double* max_x, const double* max_y, int n,
+                           double qmin_x, double qmin_y, double qmax_x,
+                           double qmax_y) {
+  uint64_t mask = 0;
+  for (int i = 0; i < n; ++i) {
+    // Bitwise & over bools keeps the loop branch-free so the compiler can
+    // vectorize it; NaN makes every comparison false, matching
+    // Envelope::Intersects on degenerate boxes.
+    const bool hit =
+        static_cast<int>(min_x[i] <= qmax_x) & static_cast<int>(qmin_x <= max_x[i]) &
+        static_cast<int>(min_y[i] <= qmax_y) & static_cast<int>(qmin_y <= max_y[i]);
+    mask |= static_cast<uint64_t>(hit) << i;
+  }
+  return mask;
+}
+
+FilterChunkFn ResolveFilterChunk() {
+#ifdef CLOUDJOIN_HAVE_AVX2
+  if (__builtin_cpu_supports("avx2")) return FilterChunkAvx2;
+#endif
+  return FilterChunkScalar;
+}
+
+bool SimdFilterActive() {
+#ifdef CLOUDJOIN_HAVE_AVX2
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+}  // namespace cloudjoin::index

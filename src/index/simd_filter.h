@@ -1,0 +1,50 @@
+#ifndef CLOUDJOIN_INDEX_SIMD_FILTER_H_
+#define CLOUDJOIN_INDEX_SIMD_FILTER_H_
+
+#include <cstdint>
+
+namespace cloudjoin::index {
+
+/// Envelope-intersection kernel over one SoA chunk: returns a bitmask with
+/// bit i set when entry i of the chunk intersects the query box
+/// `[qmin_x, qmax_x] x [qmin_y, qmax_y]`. `n <= 64`.
+///
+/// The test is branch-free `min <= max` comparisons only; IEEE semantics
+/// make every comparison involving NaN false, so NaN envelopes (POLYGON
+/// EMPTY) and the empty-envelope sentinel (+inf mins, -inf maxes) filter
+/// out exactly like `Envelope::Intersects` — provided the caller has
+/// already rejected empty/NaN *queries* at the tree-bounds check, which
+/// both tree walks do.
+using FilterChunkFn = uint64_t (*)(const double* min_x, const double* min_y,
+                                   const double* max_x, const double* max_y,
+                                   int n, double qmin_x, double qmin_y,
+                                   double qmax_x, double qmax_y);
+
+/// Portable scalar kernel (auto-vectorizable; the parity baseline).
+uint64_t FilterChunkScalar(const double* min_x, const double* min_y,
+                           const double* max_x, const double* max_y, int n,
+                           double qmin_x, double qmin_y, double qmax_x,
+                           double qmax_y);
+
+/// Picks the best kernel for this binary and host: the explicit AVX2
+/// kernel when compiled in (CLOUDJOIN_ENABLE_SIMD) and the CPU supports
+/// it, the scalar kernel otherwise. Both produce bit-identical masks.
+FilterChunkFn ResolveFilterChunk();
+
+/// True when ResolveFilterChunk() returns the explicit SIMD kernel (drives
+/// the join.filter_simd_lanes_used counter).
+bool SimdFilterActive();
+
+#ifdef CLOUDJOIN_HAVE_AVX2
+/// AVX2 kernel: 4 envelopes per iteration via VCMPPD/VMOVMSKPD. Defined in
+/// simd_filter_avx2.cc (its own translation unit, compiled with -mavx2);
+/// only call when the host reports AVX2.
+uint64_t FilterChunkAvx2(const double* min_x, const double* min_y,
+                         const double* max_x, const double* max_y, int n,
+                         double qmin_x, double qmin_y, double qmax_x,
+                         double qmax_y);
+#endif
+
+}  // namespace cloudjoin::index
+
+#endif  // CLOUDJOIN_INDEX_SIMD_FILTER_H_

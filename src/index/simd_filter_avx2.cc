@@ -1,0 +1,44 @@
+// AVX2 envelope-intersection kernel. Lives in its own translation unit so
+// only this file is compiled with -mavx2 (the rest of the tree stays at
+// the baseline ISA); callers go through ResolveFilterChunk(), which checks
+// the CPU at runtime before handing this symbol out.
+#ifdef CLOUDJOIN_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include "index/simd_filter.h"
+
+namespace cloudjoin::index {
+
+uint64_t FilterChunkAvx2(const double* min_x, const double* min_y,
+                         const double* max_x, const double* max_y, int n,
+                         double qmin_x, double qmin_y, double qmax_x,
+                         double qmax_y) {
+  const __m256d vqmin_x = _mm256_set1_pd(qmin_x);
+  const __m256d vqmin_y = _mm256_set1_pd(qmin_y);
+  const __m256d vqmax_x = _mm256_set1_pd(qmax_x);
+  const __m256d vqmax_y = _mm256_set1_pd(qmax_y);
+  uint64_t mask = 0;
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // _CMP_LE_OQ is false on NaN operands, exactly like scalar <=.
+    __m256d hit = _mm256_and_pd(
+        _mm256_and_pd(
+            _mm256_cmp_pd(_mm256_loadu_pd(min_x + i), vqmax_x, _CMP_LE_OQ),
+            _mm256_cmp_pd(vqmin_x, _mm256_loadu_pd(max_x + i), _CMP_LE_OQ)),
+        _mm256_and_pd(
+            _mm256_cmp_pd(_mm256_loadu_pd(min_y + i), vqmax_y, _CMP_LE_OQ),
+            _mm256_cmp_pd(vqmin_y, _mm256_loadu_pd(max_y + i), _CMP_LE_OQ)));
+    mask |= static_cast<uint64_t>(_mm256_movemask_pd(hit)) << i;
+  }
+  if (i < n) {
+    mask |= FilterChunkScalar(min_x + i, min_y + i, max_x + i, max_y + i,
+                              n - i, qmin_x, qmin_y, qmax_x, qmax_y)
+            << i;
+  }
+  return mask;
+}
+
+}  // namespace cloudjoin::index
+
+#endif  // CLOUDJOIN_HAVE_AVX2

@@ -29,6 +29,19 @@ class StrTree {
     int64_t id = 0;
   };
 
+  /// One flat-array node. Public so layout passes (PackedStrTree) can
+  /// mirror the exact structure — and therefore the exact traversal order —
+  /// of a built tree.
+  struct Node {
+    geom::Envelope envelope;
+    // For internal nodes: [first_child, first_child + num_children) in
+    // nodes(). For leaves: [first_child, first_child + num_children) in
+    // entries().
+    int32_t first_child = 0;
+    int32_t num_children = 0;
+    bool is_leaf = true;
+  };
+
   /// Builds the tree over `entries` with the given node capacity (JTS
   /// default is 10).
   explicit StrTree(std::vector<Entry> entries, int node_capacity = 10);
@@ -100,6 +113,13 @@ class StrTree {
   int64_t num_entries() const { return num_entries_; }
   int height() const { return height_; }
 
+  /// Structure introspection for layout passes: the STR-permuted entries,
+  /// the level-ordered (leaves-first) node array, and the root's index in
+  /// it (-1 when empty).
+  const std::vector<Entry>& entries() const { return entries_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  int32_t root() const { return root_; }
+
   /// Rough memory footprint in bytes (used to model broadcast cost).
   int64_t MemoryBytes() const;
 
@@ -110,16 +130,6 @@ class StrTree {
   /// Traversal stack bound: capacity >= 2 gives height <= log2(2^31), and
   /// each level pushes at most node_capacity entries.
   static constexpr int kMaxStackDepth = 256;
-
-  struct Node {
-    geom::Envelope envelope;
-    // For internal nodes: [first_child, first_child + num_children) in
-    // nodes_. For leaves: [first_child, first_child + num_children) in
-    // entries_.
-    int32_t first_child = 0;
-    int32_t num_children = 0;
-    bool is_leaf = true;
-  };
 
   /// Packs `level` (indices into nodes_ or entries_) into parent nodes;
   /// returns the indices of the new level's nodes.

@@ -15,6 +15,15 @@ void ProbeStats::FlushTo(Counters* counters) const {
   if (boundary_fallbacks != 0) {
     counters->Add("join.boundary_fallbacks", boundary_fallbacks);
   }
+  if (filter_batches != 0) {
+    counters->Add("join.filter_batches", filter_batches);
+  }
+  if (filter_candidates != 0) {
+    counters->Add("join.filter_candidates", filter_candidates);
+  }
+  if (filter_simd_lanes != 0) {
+    counters->Add("join.filter_simd_lanes_used", filter_simd_lanes);
+  }
 }
 
 namespace {
@@ -39,6 +48,7 @@ BroadcastIndex::BroadcastIndex(std::vector<IdGeometry> records, double radius,
         index::StrTree::Entry{env, static_cast<int64_t>(i)});
   }
   tree_ = std::make_unique<index::StrTree>(std::move(entries));
+  packed_ = std::make_unique<index::PackedStrTree>(*tree_);
 
   if (prepare.enabled && !records_.empty()) {
     Stopwatch prepare_watch;  // wall clock: preparation may be parallel
@@ -105,18 +115,17 @@ void BroadcastIndex::Probe(const IdGeometry& probe,
 
 void BroadcastIndex::ProbeBatch(std::span<const IdGeometry> probes,
                                 const SpatialPredicate& predicate,
-                                std::vector<IdPair>* out,
-                                Counters* counters) const {
+                                std::vector<IdPair>* out, Counters* counters,
+                                const ProbeOptions& probe_options) const {
   ProbeStats stats;
-  for (const IdGeometry& probe : probes) {
-    ProbeVisit(probe, predicate,
-               [out](const IdPair& pair) { out->push_back(pair); }, &stats);
-  }
+  ProbeRangeVisit(probes, predicate, probe_options,
+                  [out](int64_t, const IdPair& pair) { out->push_back(pair); },
+                  &stats);
   stats.FlushTo(counters);
 }
 
 int64_t BroadcastIndex::MemoryBytes() const {
-  int64_t bytes = tree_->MemoryBytes();
+  int64_t bytes = tree_->MemoryBytes() + packed_->MemoryBytes();
   for (const IdGeometry& r : records_) {
     bytes += 16 + r.geometry.NumCoords() * static_cast<int64_t>(sizeof(geom::Point));
   }
@@ -127,18 +136,20 @@ std::vector<IdPair> BroadcastSpatialJoin(const std::vector<IdGeometry>& left,
                                          std::vector<IdGeometry> right,
                                          const SpatialPredicate& predicate,
                                          Counters* counters,
-                                         const PrepareOptions& prepare) {
+                                         const PrepareOptions& prepare,
+                                         const ProbeOptions& probe) {
   BroadcastIndex index(std::move(right), predicate.FilterRadius(), prepare);
   std::vector<IdPair> out;
   index.ProbeBatch(std::span<const IdGeometry>(left.data(), left.size()),
-                   predicate, &out, counters);
+                   predicate, &out, counters, probe);
   return out;
 }
 
 std::vector<IdPair> ParallelBroadcastSpatialJoin(
     const std::vector<IdGeometry>& left, std::vector<IdGeometry> right,
     const SpatialPredicate& predicate, int num_threads,
-    const PrepareOptions& prepare, Counters* counters) {
+    const PrepareOptions& prepare, Counters* counters,
+    const ProbeOptions& probe) {
   CLOUDJOIN_CHECK(num_threads >= 1);
   ThreadPool pool(num_threads);
   PrepareOptions pooled_prepare = prepare;
@@ -165,12 +176,17 @@ std::vector<IdPair> ParallelBroadcastSpatialJoin(
     const int64_t end = std::min(n, begin + shard_size);
     auto* shard_pairs = &shard_out[static_cast<size_t>(shard)];
     ProbeStats* stats = &shard_stats[static_cast<size_t>(shard)];
-    for (int64_t i = begin; i < end; ++i) {
-      index.ProbeVisit(
-          left[static_cast<size_t>(i)], predicate,
-          [shard_pairs](const IdPair& pair) { shard_pairs->push_back(pair); },
-          stats);
-    }
+    // Each shard runs the columnar path over its contiguous range; the
+    // driver restores probe order within the shard, so concatenating the
+    // shard buffers still reproduces the serial output byte for byte.
+    index.ProbeRangeVisit(
+        std::span<const IdGeometry>(left.data() + begin,
+                                    static_cast<size_t>(end - begin)),
+        predicate, probe,
+        [shard_pairs](int64_t, const IdPair& pair) {
+          shard_pairs->push_back(pair);
+        },
+        stats);
   });
 
   ProbeStats total;

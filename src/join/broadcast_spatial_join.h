@@ -13,6 +13,9 @@
 #include "geom/geometry.h"
 #include "geom/predicates.h"
 #include "geom/prepared.h"
+#include "index/batch_prober.h"
+#include "index/packed_str_tree.h"
+#include "index/probe_options.h"
 #include "index/str_tree.h"
 #include "join/spatial_predicate.h"
 
@@ -27,6 +30,11 @@ struct IdGeometry {
 
 /// An (left id, right id) join match.
 using IdPair = std::pair<int64_t, int64_t>;
+
+/// Probe-side batching knobs (batch size, Hilbert ordering, packed SoA
+/// filter), shared with the index layer so the impala runtime can carry
+/// them without depending on join.
+using ProbeOptions = index::ProbeOptions;
 
 /// Tuning for prepared-geometry refinement: whether to build a
 /// `geom::PreparedPolygon` per right-side polygon record, and when.
@@ -75,12 +83,27 @@ struct ProbeStats {
   /// Prepared refinements that landed in a boundary cell and fell back to
   /// the exact ray-crossing test.
   int64_t boundary_fallbacks = 0;
+  /// Columnar filter phase: EnvelopeBatches processed, candidates the
+  /// batch kernel emitted, and SIMD lanes the explicit kernel tested
+  /// (0 on the scalar / per-record paths).
+  int64_t filter_batches = 0;
+  int64_t filter_candidates = 0;
+  int64_t filter_simd_lanes = 0;
 
   void MergeFrom(const ProbeStats& other) {
     candidates += other.candidates;
     matches += other.matches;
     prepared_hits += other.prepared_hits;
     boundary_fallbacks += other.boundary_fallbacks;
+    filter_batches += other.filter_batches;
+    filter_candidates += other.filter_candidates;
+    filter_simd_lanes += other.filter_simd_lanes;
+  }
+
+  void AddFilter(const index::BatchStats& filter) {
+    filter_batches += filter.batches;
+    filter_candidates += filter.candidates;
+    filter_simd_lanes += filter.simd_lanes;
   }
 
   /// Adds the non-zero fields to `counters` (no-op on nullptr).
@@ -120,15 +143,49 @@ class BroadcastIndex {
   void Probe(const IdGeometry& probe, const SpatialPredicate& predicate,
              std::vector<IdPair>* out, Counters* counters = nullptr) const;
 
+  /// Columnar two-phase probe over a contiguous range: filters `probes` in
+  /// `probe_options.batch_size`-sized EnvelopeBatches through the packed
+  /// (or pointer) tree, then refines the dense candidate buffer with the
+  /// original probe order restored. Calls `emit(i, pair)` — `i` the
+  /// probe's index within `probes` — for exactly the matches per-record
+  /// ProbeVisit would emit, in the same order, for every knob combination.
+  template <typename Emit>
+  void ProbeRangeVisit(std::span<const IdGeometry> probes,
+                       const SpatialPredicate& predicate,
+                       const ProbeOptions& probe_options, Emit&& emit,
+                       ProbeStats* stats) const {
+    index::BatchStats filter_stats;
+    index::RunBatchedProbes(
+        static_cast<int64_t>(probes.size()), *tree_, packed_.get(),
+        probe_options,
+        [&](int64_t i) {
+          return probes[static_cast<size_t>(i)].geometry.envelope();
+        },
+        [&](int64_t i, int64_t slot) {
+          const IdGeometry& probe = probes[static_cast<size_t>(i)];
+          ++stats->candidates;
+          if (RefineCandidate(probe.geometry, static_cast<size_t>(slot),
+                              predicate, stats)) {
+            ++stats->matches;
+            emit(i, IdPair(probe.id, records_[static_cast<size_t>(slot)].id));
+          }
+        },
+        &filter_stats);
+    stats->AddFilter(filter_stats);
+  }
+
   /// Row-batch probe (mirrors ISP-MC's vectorized execution): probes every
   /// record of `probes` in order, appending matches to `out`; counter
   /// updates are amortized over the whole batch instead of per record.
+  /// Runs the columnar path per `probe_options` (default: on).
   void ProbeBatch(std::span<const IdGeometry> probes,
                   const SpatialPredicate& predicate, std::vector<IdPair>* out,
-                  Counters* counters = nullptr) const;
+                  Counters* counters = nullptr,
+                  const ProbeOptions& probe_options = ProbeOptions()) const;
 
   int64_t size() const { return static_cast<int64_t>(records_.size()); }
   const index::StrTree& tree() const { return *tree_; }
+  const index::PackedStrTree& packed() const { return *packed_; }
 
   /// Number of right-side records carrying a prepared grid (0 when
   /// preparation is disabled).
@@ -152,6 +209,9 @@ class BroadcastIndex {
   /// nullptr per slot for records below the vertex threshold.
   std::vector<std::unique_ptr<geom::PreparedPolygon>> prepared_;
   std::unique_ptr<index::StrTree> tree_;
+  /// SoA layout pass over tree_ (always built: a linear copy of the
+  /// columns, cached and broadcast alongside the pointer tree).
+  std::unique_ptr<index::PackedStrTree> packed_;
   int64_t num_prepared_ = 0;
   double prepare_seconds_ = 0.0;
 };
@@ -164,22 +224,26 @@ bool RefinePair(const geom::Geometry& left, const geom::Geometry& right,
 /// The paper's core algorithm: build an STR-tree over `right`, stream
 /// `left` through it, refine candidates. Returns matched (left_id,
 /// right_id) pairs in left-major order. `prepare` opts into
-/// prepared-geometry refinement (results are identical either way).
+/// prepared-geometry refinement; `probe` tunes the columnar filter phase
+/// (results are identical for every knob combination).
 std::vector<IdPair> BroadcastSpatialJoin(
     const std::vector<IdGeometry>& left, std::vector<IdGeometry> right,
     const SpatialPredicate& predicate, Counters* counters = nullptr,
-    const PrepareOptions& prepare = PrepareOptions());
+    const PrepareOptions& prepare = PrepareOptions(),
+    const ProbeOptions& probe = ProbeOptions());
 
 /// Parallel probe engine: builds the index once, shards `left` into
 /// contiguous ranges probed concurrently on `num_threads` workers with
 /// per-thread output buffers, then concatenates the buffers in shard
-/// order. Because shards are contiguous and in input order, the result is
-/// byte-identical to BroadcastSpatialJoin for every thread count.
+/// order. Because shards are contiguous and in input order (and batching
+/// restores per-shard probe order), the result is byte-identical to
+/// BroadcastSpatialJoin for every thread count and probe config.
 std::vector<IdPair> ParallelBroadcastSpatialJoin(
     const std::vector<IdGeometry>& left, std::vector<IdGeometry> right,
     const SpatialPredicate& predicate, int num_threads,
     const PrepareOptions& prepare = PrepareOptions(),
-    Counters* counters = nullptr);
+    Counters* counters = nullptr,
+    const ProbeOptions& probe = ProbeOptions());
 
 /// O(|left| * |right|) reference join (the naive cross-join baseline of the
 /// paper's §II; also the test oracle).

@@ -69,8 +69,12 @@ spark::Rdd<IdGeometry> GeometryById(spark::SparkContext* ctx,
 
 SpatialSparkSystem::SpatialSparkSystem(dfs::SimFileSystem* fs,
                                        int num_partitions,
-                                       const PrepareOptions& prepare)
-    : fs_(fs), num_partitions_(num_partitions), prepare_(prepare) {
+                                       const PrepareOptions& prepare,
+                                       const ProbeOptions& probe)
+    : fs_(fs),
+      num_partitions_(num_partitions),
+      prepare_(prepare),
+      probe_(probe) {
   CLOUDJOIN_CHECK(fs != nullptr);
   CLOUDJOIN_CHECK(num_partitions >= 1);
 }
@@ -109,21 +113,37 @@ Result<SparkJoinRun> SpatialSparkSystem::Join(
       ctx.BroadcastValue<BroadcastIndex>(index, index->MemoryBytes());
   run.broadcast_bytes = broadcast.bytes();
 
-  // Left side streamed through the probe: matches are emitted straight to
-  // the stage's sink (no per-probe staging vector). Stages run serially
+  // Left side probed one partition-sized row batch at a time: each task
+  // materializes its parsed records, then the columnar driver batches the
+  // envelopes through the packed tree and refines off the dense candidate
+  // buffer (the two-phase filter->refine split, replacing the per-record
+  // FlatMap closure). Partition order + per-partition order restoration
+  // keep the output identical to the streaming path. Stages run serially
   // (SparkContext::RunStage is a plain loop), so one shared ProbeStats,
-  // flushed once after the collect, keeps the counter mutex off the
-  // measured probe path.
+  // flushed once at the end, keeps the counter mutex off the measured
+  // probe path.
   ProbeStats probe_stats;
-  ProbeStats* stats = &probe_stats;
   spark::Rdd<IdGeometry> left_rdd = GeometryById(&ctx, left, num_partitions_);
-  spark::Rdd<IdPair> matched = left_rdd.FlatMap<IdPair>(
-      [broadcast, predicate, stats](
-          const IdGeometry& probe,
-          const std::function<void(const IdPair&)>& emit) {
-        broadcast.value().ProbeVisit(probe, predicate, emit, stats);
-      });
-  run.pairs = matched.Collect();
+  std::vector<std::vector<IdPair>> part_pairs(
+      static_cast<size_t>(num_partitions_));
+  const ProbeOptions probe_options = probe_;
+  // Stage name carries the left path so harness-side extrapolation treats
+  // the probe as left-side work.
+  ctx.RunStage("spatialJoinProbe(" + left.path + ")", num_partitions_,
+               [&](int p) {
+    std::vector<IdGeometry> probes;
+    left_rdd.ComputePartition(
+        p, [&](const IdGeometry& g) { probes.push_back(g); });
+    auto* out = &part_pairs[static_cast<size_t>(p)];
+    broadcast.value().ProbeRangeVisit(
+        std::span<const IdGeometry>(probes.data(), probes.size()), predicate,
+        probe_options,
+        [out](int64_t, const IdPair& pair) { out->push_back(pair); },
+        &probe_stats);
+  });
+  for (auto& pairs : part_pairs) {
+    run.pairs.insert(run.pairs.end(), pairs.begin(), pairs.end());
+  }
   probe_stats.FlushTo(&run.counters);
 
   run.stages = ctx.stages();
@@ -219,6 +239,7 @@ Result<SparkJoinRun> SpatialSparkSystem::PartitionedJoin(
   // technique (emit only in the tile owning the lower-left corner of the
   // envelope intersection) instead of a driver-side sort-unique, matching
   // PartitionedSpatialJoin.
+  const ProbeOptions probe_options = probe_;
   ctx.RunStage("partitionedJoin(" + left.path + ")", num_tiles,
                [&](int tile) {
     std::vector<IdGeometry> right_local;
@@ -236,18 +257,25 @@ Result<SparkJoinRun> SpatialSparkSystem::PartitionedJoin(
     run.prepare_seconds += index.prepare_seconds();
     prepared_records += index.num_prepared();
     auto* out = &tile_pairs[static_cast<size_t>(tile)];
-    left_tiled.ComputePartition(tile, [&](const Tagged& kv) {
-      const geom::Envelope left_env = kv.second.geometry.envelope();
-      index.ProbeVisit(
-          kv.second, predicate,
-          [&](const IdPair& pair) {
-            if (partitioner->OwnerTileOf(
-                    left_env, right_envelopes.at(pair.second)) == tile) {
-              out->push_back(pair);
-            }
-          },
-          &probe_stats);
-    });
+    // Tile-local row batch: materialize the tile's left records, probe
+    // them through the columnar driver, and suppress replicated pairs in
+    // the emit callback (the probe's range index recovers the left
+    // envelope for the owner-tile test).
+    std::vector<IdGeometry> left_local;
+    left_tiled.ComputePartition(
+        tile, [&](const Tagged& kv) { left_local.push_back(kv.second); });
+    index.ProbeRangeVisit(
+        std::span<const IdGeometry>(left_local.data(), left_local.size()),
+        predicate, probe_options,
+        [&](int64_t i, const IdPair& pair) {
+          const geom::Envelope left_env =
+              left_local[static_cast<size_t>(i)].geometry.envelope();
+          if (partitioner->OwnerTileOf(
+                  left_env, right_envelopes.at(pair.second)) == tile) {
+            out->push_back(pair);
+          }
+        },
+        &probe_stats);
   });
   probe_stats.FlushTo(&run.counters);
   if (prepared_records > 0) {

@@ -46,9 +46,11 @@ class SpatialSparkSystem {
   /// `fs` must outlive the system. `num_partitions` is the RDD parallelism
   /// (the tuning knob the paper's §III discussion centers on). `prepare`
   /// opts the broadcast index (and the tile joins of PartitionedJoin) into
-  /// prepared-geometry refinement; results are identical either way.
+  /// prepared-geometry refinement; `probe` tunes the columnar probe phase.
+  /// Results are identical for every knob combination.
   SpatialSparkSystem(dfs::SimFileSystem* fs, int num_partitions,
-                     const PrepareOptions& prepare = PrepareOptions());
+                     const PrepareOptions& prepare = PrepareOptions(),
+                     const ProbeOptions& probe = ProbeOptions());
 
   /// Runs the join; real execution, measured per task.
   Result<SparkJoinRun> Join(const TableInput& left, const TableInput& right,
@@ -75,6 +77,7 @@ class SpatialSparkSystem {
   dfs::SimFileSystem* fs_;
   int num_partitions_;
   PrepareOptions prepare_;
+  ProbeOptions probe_;
 };
 
 }  // namespace cloudjoin::join

@@ -9,6 +9,7 @@
 #include "geom/wkt.h"
 #include "geosim/geometry.h"
 #include "geosim/wkt_reader.h"
+#include "index/batch_prober.h"
 #include "index/str_tree.h"
 #include "sim/scheduler.h"
 
@@ -52,6 +53,7 @@ int64_t StandaloneRight::MemoryBytes() const {
     if (p != nullptr) total += p->MemoryBytes();
   }
   if (tree != nullptr) total += tree->MemoryBytes();
+  if (packed != nullptr) total += packed->MemoryBytes();
   return total;
 }
 
@@ -116,6 +118,7 @@ Result<std::shared_ptr<const StandaloneRight>> StandaloneMc::BuildRight(
     }
   }
   built->tree = std::make_unique<index::StrTree>(std::move(entries));
+  built->packed = std::make_unique<index::PackedStrTree>(*built->tree);
   built->build_seconds = build_watch.ElapsedSeconds();
   if (counters != nullptr) {
     counters->Add("standalone.right_rows",
@@ -132,7 +135,8 @@ Result<std::shared_ptr<const StandaloneRight>> StandaloneMc::BuildRight(
 Result<StandaloneRun> StandaloneMc::Join(
     const TableInput& left, const TableInput& right,
     const SpatialPredicate& predicate, const PrepareOptions& prepare,
-    std::shared_ptr<const StandaloneRight> prebuilt) {
+    std::shared_ptr<const StandaloneRight> prebuilt,
+    const ProbeOptions& probe) {
   CLOUDJOIN_ASSIGN_OR_RETURN(const dfs::SimFile* left_file,
                              fs_->GetFile(left.path));
   StandaloneRun run;
@@ -155,14 +159,24 @@ Result<StandaloneRun> StandaloneMc::Join(
       side->prepared;
   const index::StrTree& tree = *side->tree;
 
-  // ---- Probe phase: one task per left block. ----
-  std::vector<int64_t> candidates;
+  // ---- Probe phase: one task per left block, each block a row batch.
+  // The block's records are parsed first, then the columnar driver
+  // filters the whole block (packed tree + optional Hilbert ordering) and
+  // refinement streams the dense candidate buffer — the same two-phase
+  // split as the engine paths, with per-pair WKT re-parse preserved. ----
   int64_t prepared_hits = 0;
   int64_t boundary_fallbacks = 0;
+  index::BatchStats filter_stats;
+  std::vector<int64_t> probe_ids;
+  std::vector<std::string> probe_wkt;
+  std::vector<std::unique_ptr<geosim::Geometry>> probe_geoms;
   for (const dfs::BlockInfo& block : left_file->blocks()) {
     CpuTimer block_watch;
     dfs::LineRecordReader lines(left_file->data(), block.offset, block.length);
     std::string_view line;
+    probe_ids.clear();
+    probe_wkt.clear();
+    probe_geoms.clear();
     while (lines.Next(&line)) {
       std::vector<std::string_view> fields = StrSplit(line, left.separator);
       if (static_cast<int>(fields.size()) <= left.geometry_column ||
@@ -181,40 +195,55 @@ Result<StandaloneRun> StandaloneMc::Join(
         run.counters.Add("standalone.left_bad_geom", 1);
         continue;
       }
-      candidates.clear();
-      tree.VisitQuery(
-          (*parsed)->getEnvelopeInternal(),
-          [&candidates](int64_t slot) { candidates.push_back(slot); });
-      run.counters.Add("standalone.candidates",
-                       static_cast<int64_t>(candidates.size()));
-      // Prepared fast path: kWithin point probes against prepared right
-      // polygons skip the per-pair WKT re-parse entirely.
-      const geosim::PointImpl* left_point = nullptr;
-      if (!right_prepared.empty() &&
-          predicate.op == SpatialOperator::kWithin &&
-          (*parsed)->getGeometryTypeId() == geosim::GeometryTypeId::kPoint) {
-        left_point = static_cast<const geosim::PointImpl*>(parsed->get());
-      }
-      for (int64_t slot : candidates) {
-        bool match = false;
-        const geom::PreparedPolygon* prep =
-            left_point != nullptr
-                ? right_prepared[static_cast<size_t>(slot)].get()
-                : nullptr;
-        if (prep != nullptr) {
-          ++prepared_hits;
-          bool fallback = false;
-          match = prep->Contains(
-              geom::Point{left_point->getX(), left_point->getY()}, &fallback);
-          if (fallback) ++boundary_fallbacks;
-        } else {
-          match = RefineWkt(left_wkt, right_wkt[static_cast<size_t>(slot)],
-                            predicate);
-        }
-        if (match) {
-          run.pairs.emplace_back(*id, right_ids[static_cast<size_t>(slot)]);
-        }
-      }
+      probe_ids.push_back(*id);
+      probe_wkt.push_back(std::move(left_wkt));
+      probe_geoms.push_back(std::move(parsed).value());
+    }
+
+    int64_t block_candidates = 0;
+    index::RunBatchedProbes(
+        static_cast<int64_t>(probe_geoms.size()), tree, side->packed.get(),
+        probe,
+        [&](int64_t i) {
+          return probe_geoms[static_cast<size_t>(i)]->getEnvelopeInternal();
+        },
+        [&](int64_t i, int64_t slot) {
+          ++block_candidates;
+          const geosim::Geometry* left_geom =
+              probe_geoms[static_cast<size_t>(i)].get();
+          // Prepared fast path: kWithin point probes against prepared
+          // right polygons skip the per-pair WKT re-parse entirely.
+          const geosim::PointImpl* left_point = nullptr;
+          if (!right_prepared.empty() &&
+              predicate.op == SpatialOperator::kWithin &&
+              left_geom->getGeometryTypeId() ==
+                  geosim::GeometryTypeId::kPoint) {
+            left_point = static_cast<const geosim::PointImpl*>(left_geom);
+          }
+          bool match = false;
+          const geom::PreparedPolygon* prep =
+              left_point != nullptr
+                  ? right_prepared[static_cast<size_t>(slot)].get()
+                  : nullptr;
+          if (prep != nullptr) {
+            ++prepared_hits;
+            bool fallback = false;
+            match = prep->Contains(
+                geom::Point{left_point->getX(), left_point->getY()},
+                &fallback);
+            if (fallback) ++boundary_fallbacks;
+          } else {
+            match = RefineWkt(probe_wkt[static_cast<size_t>(i)],
+                              right_wkt[static_cast<size_t>(slot)], predicate);
+          }
+          if (match) {
+            run.pairs.emplace_back(probe_ids[static_cast<size_t>(i)],
+                                   right_ids[static_cast<size_t>(slot)]);
+          }
+        },
+        &filter_stats);
+    if (!probe_ids.empty()) {
+      run.counters.Add("standalone.candidates", block_candidates);
     }
     run.block_seconds.push_back(block_watch.ElapsedSeconds());
   }
@@ -223,6 +252,14 @@ Result<StandaloneRun> StandaloneMc::Join(
   }
   if (boundary_fallbacks > 0) {
     run.counters.Add("standalone.boundary_fallbacks", boundary_fallbacks);
+  }
+  if (filter_stats.batches > 0) {
+    run.counters.Add("standalone.filter_batches", filter_stats.batches);
+    run.counters.Add("standalone.filter_candidates", filter_stats.candidates);
+    if (filter_stats.simd_lanes > 0) {
+      run.counters.Add("standalone.filter_simd_lanes_used",
+                       filter_stats.simd_lanes);
+    }
   }
   return run;
 }

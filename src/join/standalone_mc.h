@@ -37,11 +37,14 @@ struct StandaloneRight {
   /// Slot-aligned with ids; empty when preparation is disabled.
   std::vector<std::unique_ptr<geom::PreparedPolygon>> prepared;
   std::unique_ptr<index::StrTree> tree;
+  /// Columnar layout pass over `tree`, retained (and cached) with it so a
+  /// warmed serving path never rebuilds the SoA columns.
+  std::unique_ptr<index::PackedStrTree> packed;
   /// Measured wall-clock of the build that produced this artifact.
   double build_seconds = 0.0;
 
-  /// Approximate resident size (ids + WKT + grids + tree), for cache
-  /// memory accounting.
+  /// Approximate resident size (ids + WKT + grids + tree + packed
+  /// layout), for cache memory accounting.
   int64_t MemoryBytes() const;
 };
 
@@ -71,12 +74,14 @@ class StandaloneMc {
   /// `prebuilt` (optional) injects a prior `BuildRight` artifact for the
   /// same (right, predicate, prepare) triple: the build phase is skipped,
   /// `run.build_seconds` reports 0, and a `join.index_cache_hit` counter
-  /// is recorded. Results are byte-identical to a rebuilding run.
+  /// is recorded. `probe` tunes the columnar probe phase. Results are
+  /// byte-identical for every combination.
   Result<StandaloneRun> Join(
       const TableInput& left, const TableInput& right,
       const SpatialPredicate& predicate,
       const PrepareOptions& prepare = PrepareOptions(),
-      std::shared_ptr<const StandaloneRight> prebuilt = nullptr);
+      std::shared_ptr<const StandaloneRight> prebuilt = nullptr,
+      const ProbeOptions& probe = ProbeOptions());
 
   /// Replays a run on `cluster` (static scheduling, no engine overheads).
   static sim::RunReport Simulate(const StandaloneRun& run,

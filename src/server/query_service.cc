@@ -185,7 +185,8 @@ Result<KernelJoinResponse> QueryService::ExecuteBroadcastJoin(
   const std::string key =
       "kernel|" + request.right_name +
       "|v=" + std::to_string(request.right_version) + "|" +
-      request.predicate.ToString() + "|" + request.prepare.Fingerprint();
+      request.predicate.ToString() + "|" + request.prepare.Fingerprint() +
+      "|" + request.probe.Fingerprint();
 
   std::shared_ptr<const join::BroadcastIndex> index;
   if (options_.enable_cache) {
@@ -222,7 +223,7 @@ Result<KernelJoinResponse> QueryService::ExecuteBroadcastJoin(
 
   Stopwatch probe_watch;
   index->ProbeBatch(left, request.predicate, &response.pairs,
-                    &response.counters);
+                    &response.counters, request.probe);
   response.probe_seconds = probe_watch.ElapsedSeconds();
   ticket.Release();
 

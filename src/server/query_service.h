@@ -74,6 +74,10 @@ struct KernelJoinRequest {
   int64_t right_version = 0;
   join::SpatialPredicate predicate;
   join::PrepareOptions prepare;
+  /// Columnar filter tuning for the probe. Part of the cache key, so an
+  /// index warmed under one probe configuration is never credited to a
+  /// run sweeping a different one.
+  join::ProbeOptions probe;
 };
 
 /// Bypass join output.
