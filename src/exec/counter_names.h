@@ -1,0 +1,42 @@
+#ifndef CLOUDJOIN_EXEC_COUNTER_NAMES_H_
+#define CLOUDJOIN_EXEC_COUNTER_NAMES_H_
+
+namespace cloudjoin::exec::counter {
+
+/// The shared join counter taxonomy, emitted by the exec core so every
+/// engine reports the same names (see DESIGN.md "Counter taxonomy").
+///
+/// Input accounting — a row is *malformed* when it cannot be decomposed
+/// into (id, geometry) fields at all (too few columns, unparseable id,
+/// NULL geometry slot); it is *bad_geom* when the fields were present but
+/// the geometry text failed to parse.
+inline constexpr char kRightMalformed[] = "join.right_malformed";
+inline constexpr char kRightBadGeom[] = "join.right_bad_geom";
+inline constexpr char kLeftMalformed[] = "join.left_malformed";
+inline constexpr char kLeftBadGeom[] = "join.left_bad_geom";
+
+/// Build accounting: rows retained on the indexed (right) side, and how
+/// many of them carry a prepared grid.
+inline constexpr char kRightRows[] = "join.right_rows";
+inline constexpr char kPreparedRecords[] = "join.prepared_records";
+
+/// Probe accounting: filter candidates, refinement matches, prepared-grid
+/// usage, and the columnar filter phase.
+inline constexpr char kCandidates[] = "join.candidates";
+inline constexpr char kMatches[] = "join.matches";
+inline constexpr char kPreparedHits[] = "join.prepared_hits";
+inline constexpr char kBoundaryFallbacks[] = "join.boundary_fallbacks";
+inline constexpr char kFilterBatches[] = "join.filter_batches";
+inline constexpr char kFilterCandidates[] = "join.filter_candidates";
+inline constexpr char kFilterSimdLanes[] = "join.filter_simd_lanes_used";
+
+/// A WKT string that parsed during the build/probe scan but failed to
+/// re-parse inside GEOS-role refinement. Previously a silent drop.
+inline constexpr char kRefineParseError[] = "join.refine_parse_error";
+
+/// Serving layer: a retained right-side build was reused.
+inline constexpr char kIndexCacheHit[] = "join.index_cache_hit";
+
+}  // namespace cloudjoin::exec::counter
+
+#endif  // CLOUDJOIN_EXEC_COUNTER_NAMES_H_

@@ -1,0 +1,21 @@
+#include "exec/geo_parse.h"
+
+#include "geom/wkb.h"
+#include "geom/wkt.h"
+#include "geosim/wkt_reader.h"
+
+namespace cloudjoin::exec {
+
+Result<std::unique_ptr<geosim::Geometry>> ParseGeosWkt(std::string_view text) {
+  static const geosim::GeometryFactory factory;
+  geosim::WKTReader reader(&factory);
+  return reader.read(text);
+}
+
+Result<geom::Geometry> ParseGeometryText(std::string_view text,
+                                         GeometryEncoding encoding) {
+  return encoding == GeometryEncoding::kWkbHex ? geom::ReadWkbHex(text)
+                                               : geom::ReadWkt(text);
+}
+
+}  // namespace cloudjoin::exec

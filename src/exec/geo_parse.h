@@ -1,0 +1,27 @@
+#ifndef CLOUDJOIN_EXEC_GEO_PARSE_H_
+#define CLOUDJOIN_EXEC_GEO_PARSE_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "exec/table_input.h"
+#include "geom/geometry.h"
+#include "geosim/geometry.h"
+
+namespace cloudjoin::exec {
+
+/// Parses a geometry through the GEOS-role library against the shared
+/// process-wide factory. The one WKTReader entry point for every engine
+/// shell — build scans, probe scans, and UDF adapters all funnel here
+/// (enforced by tools/check_no_dup_scan.sh).
+Result<std::unique_ptr<geosim::Geometry>> ParseGeosWkt(std::string_view text);
+
+/// Parses a geometry column value through the flat (JTS-role) kernel,
+/// dispatching on the table's storage encoding.
+Result<geom::Geometry> ParseGeometryText(std::string_view text,
+                                         GeometryEncoding encoding);
+
+}  // namespace cloudjoin::exec
+
+#endif  // CLOUDJOIN_EXEC_GEO_PARSE_H_

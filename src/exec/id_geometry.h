@@ -1,0 +1,23 @@
+#ifndef CLOUDJOIN_EXEC_ID_GEOMETRY_H_
+#define CLOUDJOIN_EXEC_ID_GEOMETRY_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "geom/geometry.h"
+
+namespace cloudjoin::exec {
+
+/// An (id, geometry) record — the element type both prototype systems
+/// reduce their inputs to before joining.
+struct IdGeometry {
+  int64_t id = 0;
+  geom::Geometry geometry{geom::GeometryType::kPoint};
+};
+
+/// An (left id, right id) join match.
+using IdPair = std::pair<int64_t, int64_t>;
+
+}  // namespace cloudjoin::exec
+
+#endif  // CLOUDJOIN_EXEC_ID_GEOMETRY_H_

@@ -1,0 +1,37 @@
+#ifndef CLOUDJOIN_EXEC_JOIN_CONTEXT_H_
+#define CLOUDJOIN_EXEC_JOIN_CONTEXT_H_
+
+#include <vector>
+
+#include "common/counters.h"
+#include "exec/id_geometry.h"
+#include "exec/prepare_options.h"
+#include "exec/spatial_predicate.h"
+#include "index/probe_options.h"
+
+namespace cloudjoin::exec {
+
+/// Everything a join execution needs beyond its inputs, bundled once so an
+/// engine shell threads ONE object through build + probe + refine instead
+/// of five loose parameters. Adding the next knob or counter means adding
+/// it here — every engine picks it up for free.
+struct JoinContext {
+  SpatialPredicate predicate;
+  /// Build-side: prepared-geometry grids.
+  PrepareOptions prepare;
+  /// Probe-side: columnar filter batching.
+  index::ProbeOptions probe;
+  /// Metrics sink (optional). Engines flush locally accumulated
+  /// ProbeStats here once per batch/run, never per record.
+  Counters* counters = nullptr;
+  /// Default emit sink for engines that collect pairs into a vector;
+  /// engines with richer sinks (Impala row pipelines) pass their own emit
+  /// callbacks to the probe drivers instead.
+  std::vector<IdPair>* out = nullptr;
+
+  double FilterRadius() const { return predicate.FilterRadius(); }
+};
+
+}  // namespace cloudjoin::exec
+
+#endif  // CLOUDJOIN_EXEC_JOIN_CONTEXT_H_

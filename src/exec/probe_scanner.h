@@ -1,0 +1,92 @@
+#ifndef CLOUDJOIN_EXEC_PROBE_SCANNER_H_
+#define CLOUDJOIN_EXEC_PROBE_SCANNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/counters.h"
+#include "dfs/sim_file_system.h"
+#include "exec/built_right.h"
+#include "exec/id_geometry.h"
+#include "exec/probe_stats.h"
+#include "exec/refiner.h"
+#include "exec/spatial_predicate.h"
+#include "exec/table_input.h"
+#include "geosim/geometry.h"
+#include "index/batch_prober.h"
+#include "index/probe_options.h"
+
+namespace cloudjoin::exec {
+
+/// One row batch of parsed GEOS-kernel probes: ids, retained WKT (for the
+/// per-pair re-parse refinement), and the parsed geometries (for the
+/// envelope filter). Clear + refill per block; steady state reuses the
+/// buffers.
+struct GeosProbeBatch {
+  std::vector<int64_t> ids;
+  std::vector<std::string> wkt;
+  std::vector<std::unique_ptr<geosim::Geometry>> geoms;
+
+  void Clear() {
+    ids.clear();
+    wkt.clear();
+    geoms.clear();
+  }
+  int64_t size() const { return static_cast<int64_t>(ids.size()); }
+};
+
+/// The one left-side record scan: splits each line of a block, parses
+/// id + WKT, and accounts malformed rows and bad geometries under the
+/// unified join.left_malformed / join.left_bad_geom counters. Every
+/// GEOS-kernel engine shell (standalone blocks, Impala scan ranges) feeds
+/// its probe phase through this scan or its row-level equivalent.
+class ProbeScanner {
+ public:
+  ProbeScanner(const TableInput& input, Counters* counters)
+      : input_(input), counters_(counters) {}
+
+  /// Appends every well-formed record in file[offset, offset+length) to
+  /// `batch` (which is NOT cleared — callers own batch lifecycle).
+  void ScanBlock(const dfs::SimFile& file, int64_t offset, int64_t length,
+                 GeosProbeBatch* batch) const;
+
+ private:
+  TableInput input_;
+  Counters* counters_;
+};
+
+/// Runs one parsed probe batch through the shared two-phase driver
+/// (columnar filter via index::RunBatchedProbes, then GeosRefiner), calling
+/// `emit(IdPair)` for every match in probe order. `stats` must be non-null.
+template <typename Emit>
+void RunGeosProbes(const GeosProbeBatch& probes, const BuiltRight& right,
+                   const SpatialPredicate& predicate,
+                   const index::ProbeOptions& probe_options, Emit&& emit,
+                   ProbeStats* stats) {
+  const GeosRefiner refiner(&right, &predicate);
+  index::BatchStats filter_stats;
+  index::RunBatchedProbes(
+      probes.size(), *right.tree, right.packed.get(), probe_options,
+      [&](int64_t i) {
+        return probes.geoms[static_cast<size_t>(i)]->getEnvelopeInternal();
+      },
+      [&](int64_t i, int64_t slot) {
+        ++stats->candidates;
+        if (refiner.Refine(*probes.geoms[static_cast<size_t>(i)],
+                           probes.wkt[static_cast<size_t>(i)],
+                           static_cast<size_t>(slot), &stats->refine)) {
+          ++stats->matches;
+          emit(IdPair(probes.ids[static_cast<size_t>(i)],
+                      right.ids[static_cast<size_t>(slot)]));
+        }
+      },
+      &filter_stats);
+  stats->AddFilter(filter_stats);
+}
+
+}  // namespace cloudjoin::exec
+
+#endif  // CLOUDJOIN_EXEC_PROBE_SCANNER_H_

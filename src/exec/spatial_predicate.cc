@@ -1,8 +1,8 @@
-#include "join/spatial_predicate.h"
+#include "exec/spatial_predicate.h"
 
 #include <cstdio>
 
-namespace cloudjoin::join {
+namespace cloudjoin::exec {
 
 const char* SpatialOperatorToString(SpatialOperator op) {
   switch (op) {
@@ -25,4 +25,4 @@ std::string SpatialPredicate::ToString() const {
   return SpatialOperatorToString(op);
 }
 
-}  // namespace cloudjoin::join
+}  // namespace cloudjoin::exec

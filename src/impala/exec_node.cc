@@ -4,18 +4,18 @@
 
 #include "common/stopwatch.h"
 #include "common/strings.h"
-#include "geom/wkt.h"
-#include "geosim/wkt_reader.h"
+#include "exec/counter_names.h"
+#include "exec/geo_parse.h"
+#include "exec/probe_stats.h"
+#include "exec/refiner.h"
+#include "exec/right_builder.h"
 #include "index/batch_prober.h"
 
 namespace cloudjoin::impala {
 
 namespace {
 
-const geosim::GeometryFactory& GeosFactory() {
-  static const geosim::GeometryFactory factory;
-  return factory;
-}
+namespace core = cloudjoin::exec;
 
 /// Rough serialized size of a row (for broadcast cost accounting).
 int64_t RowBytes(const Row& row) {
@@ -125,12 +125,13 @@ Result<std::unique_ptr<BroadcastRight>> BuildBroadcastRight(
     bool cache_parsed, bool prepare_geometries, Counters* counters) {
   CpuTimer watch;
   auto right = std::make_unique<BroadcastRight>();
-  geosim::WKTReader reader(&GeosFactory());
+  core::PrepareOptions prepare;
+  prepare.enabled = prepare_geometries;
+  core::RightIndexBuilder builder(radius, prepare);
 
   HdfsScanNode scan(table, file, 0, file->size(), filters, needed_slots,
                     counters);
   CLOUDJOIN_RETURN_IF_ERROR(scan.Open());
-  std::vector<index::StrTree::Entry> entries;
   RowBatch batch;
   bool eos = false;
   while (!eos) {
@@ -144,71 +145,46 @@ Result<std::unique_ptr<BroadcastRight>> BuildBroadcastRight(
       }
       const auto* wkt = std::get_if<std::string>(&row[geom_slot]);
       if (wkt == nullptr) {
-        counters->Add("broadcast.null_geom", 1);
+        counters->Add(core::counter::kRightMalformed, 1);
         continue;
       }
-      auto parsed = reader.read(*wkt);
+      auto parsed = core::ParseGeosWkt(*wkt);
       if (!parsed.ok()) {
-        counters->Add("broadcast.bad_geom", 1);
+        counters->Add(core::counter::kRightBadGeom, 1);
         continue;
       }
-      const int64_t id = static_cast<int64_t>(right->rows.size());
-      geom::Envelope env = (*parsed)->getEnvelopeInternal();
-      env.ExpandBy(radius);
-      entries.push_back(index::StrTree::Entry{env, id});
+      // Core build: slot = rows.size(), kept aligned by adding to the
+      // builder and to `rows` in lockstep.
+      builder.AddGeosRecord(static_cast<int64_t>(right->rows.size()), *wkt,
+                            **parsed);
       right->bytes += RowBytes(row);
-      right->wkt.push_back(*wkt);
-      if (prepare_geometries) {
-        // Prepared grids come from the flat geometry kernel (a second
-        // parse, but only for polygons above the vertex threshold, once
-        // per broadcast).
-        std::unique_ptr<geom::PreparedPolygon> prep;
-        const geosim::GeometryTypeId type_id = (*parsed)->getGeometryTypeId();
-        if ((type_id == geosim::GeometryTypeId::kPolygon ||
-             type_id == geosim::GeometryTypeId::kMultiPolygon) &&
-            (*parsed)->getNumPoints() >=
-                static_cast<size_t>(geom::kDefaultPrepareMinVertices)) {
-          auto flat = geom::ReadWkt(*wkt);
-          if (flat.ok()) {
-            prep = std::make_unique<geom::PreparedPolygon>(
-                std::move(flat).value());
-            counters->Add("broadcast.prepared", 1);
-          }
-        }
-        right->prepared.push_back(std::move(prep));
-      }
       if (cache_parsed) {
         right->parsed.push_back(std::move(parsed).value());
       }
       right->rows.push_back(std::move(row));
     }
   }
-  right->tree = std::make_unique<index::StrTree>(std::move(entries));
-  right->packed = std::make_unique<index::PackedStrTree>(*right->tree);
+  static_cast<core::BuiltRight&>(*right) =
+      builder.Finish(geom_slot >= 0 ? counters : nullptr);
+  if (geom_slot < 0 && counters != nullptr) {
+    counters->Add(core::counter::kRightRows,
+                  static_cast<int64_t>(right->rows.size()));
+  }
   right->bytes += right->tree->MemoryBytes() + right->packed->MemoryBytes();
   right->build_seconds = watch.ElapsedSeconds();
-  counters->Add("broadcast.rows", static_cast<int64_t>(right->rows.size()));
   return right;
 }
 
 int64_t BroadcastRight::MemoryBytes() const {
-  int64_t total = static_cast<int64_t>(sizeof(*this));
+  int64_t total = core::BuiltRight::MemoryBytes();
   for (const Row& row : rows) {
     total += static_cast<int64_t>(sizeof(Row)) + RowBytes(row);
   }
-  for (const std::string& s : wkt) {
-    total += static_cast<int64_t>(sizeof(std::string) + s.capacity());
-  }
-  if (tree != nullptr) total += tree->MemoryBytes();
-  if (packed != nullptr) total += packed->MemoryBytes();
   for (const auto& g : parsed) {
     // Heap coordinate sequence plus virtual-object overhead.
     if (g != nullptr) {
       total += 64 + static_cast<int64_t>(g->getNumPoints()) * 24;
     }
-  }
-  for (const auto& p : prepared) {
-    if (p != nullptr) total += p->MemoryBytes();
   }
   return total;
 }
@@ -236,22 +212,22 @@ void SpatialJoinNode::Close() { left_child_->Close(); }
 
 void SpatialJoinNode::ProcessLeftBatch(const RowBatch& left_rows) {
   // Parse phase: materialize the batch's probe geometries (the paper's
-  // second parsing site), dropping null/bad geometry rows with counters.
+  // second parsing site) through the core's one WKT entry point, dropping
+  // null/bad geometry rows under the unified left-side counters.
   probe_rows_.clear();
   probe_wkt_.clear();
   probe_geoms_.clear();
-  geosim::WKTReader reader(&GeosFactory());
   for (int r = 0; r < left_rows.NumRows(); ++r) {
     const Row& left_row = left_rows.row(r);
     const auto* left_wkt = std::get_if<std::string>(
         &left_row[static_cast<size_t>(spec_->left_geom_slot)]);
     if (left_wkt == nullptr) {
-      counters_->Add("join.null_left_geom", 1);
+      counters_->Add(core::counter::kLeftMalformed, 1);
       continue;
     }
-    auto parsed = reader.read(*left_wkt);
+    auto parsed = core::ParseGeosWkt(*left_wkt);
     if (!parsed.ok()) {
-      counters_->Add("join.bad_left_geom", 1);
+      counters_->Add(core::counter::kLeftBadGeom, 1);
       continue;
     }
     probe_rows_.push_back(&left_row);
@@ -262,15 +238,28 @@ void SpatialJoinNode::ProcessLeftBatch(const RowBatch& left_rows) {
 
   // Filter + refine: the whole row batch goes through the columnar driver
   // (packed tree, Hilbert ordering per probe_), and candidates come back
-  // probe-ascending so output row order matches per-row execution.
+  // probe-ascending so output row order matches per-row execution. The
+  // prepared fast path is the core's GeosRefiner; the UDF / cached-parse
+  // fallbacks are this engine's personality and stay here.
   const bool has_distance =
       spec_->predicate == SpatialJoinSpec::Predicate::kNearestD;
+  core::SpatialPredicate predicate;
+  switch (spec_->predicate) {
+    case SpatialJoinSpec::Predicate::kWithin:
+      predicate = core::SpatialPredicate::Within();
+      break;
+    case SpatialJoinSpec::Predicate::kNearestD:
+      predicate = core::SpatialPredicate::NearestD(spec_->distance);
+      break;
+    case SpatialJoinSpec::Predicate::kIntersects:
+      predicate = core::SpatialPredicate::Intersects();
+      break;
+  }
+  const core::GeosRefiner refiner(right_, &predicate);
   int64_t batch_candidates = 0;
   int64_t refinements = 0;
-  int64_t prepared_hits = 0;
-  int64_t boundary_fallbacks = 0;
+  core::RefineStats refine_stats;
   int64_t current_probe = -1;
-  const geosim::PointImpl* left_point = nullptr;
   index::BatchStats filter_stats;
   index::RunBatchedProbes(
       static_cast<int64_t>(probe_geoms_.size()), *right_->tree,
@@ -286,13 +275,6 @@ void SpatialJoinNode::ProcessLeftBatch(const RowBatch& left_rows) {
           // First candidate of probe i: set up the per-probe refinement
           // state (candidates arrive grouped by probe, in row order).
           current_probe = i;
-          left_point = nullptr;
-          if (!right_->prepared.empty() &&
-              spec_->predicate == SpatialJoinSpec::Predicate::kWithin &&
-              left_geom.getGeometryTypeId() ==
-                  geosim::GeometryTypeId::kPoint) {
-            left_point = static_cast<const geosim::PointImpl*>(&left_geom);
-          }
           if (!cache_parsed_) {
             // Prepare the UDF argument slots once per probe row; only the
             // right geometry slot changes per candidate.
@@ -302,31 +284,13 @@ void SpatialJoinNode::ProcessLeftBatch(const RowBatch& left_rows) {
           }
         }
         bool match = false;
-        const geom::PreparedPolygon* prep =
-            left_point != nullptr
-                ? right_->prepared[static_cast<size_t>(id)].get()
-                : nullptr;
-        if (prep != nullptr) {
-          ++prepared_hits;
-          bool fallback = false;
-          match = prep->Contains(
-              geom::Point{left_point->getX(), left_point->getY()}, &fallback);
-          if (fallback) ++boundary_fallbacks;
+        if (refiner.TryPrepared(left_geom, static_cast<size_t>(id),
+                                &refine_stats, &match)) {
+          // Prepared grid answered; nothing further to evaluate.
         } else if (cache_parsed_) {
           // Ablation: reuse parsed geometries instead of re-parsing WKT.
-          const geosim::Geometry* right_geom =
-              right_->parsed[static_cast<size_t>(id)].get();
-          switch (spec_->predicate) {
-            case SpatialJoinSpec::Predicate::kWithin:
-              match = left_geom.within(right_geom);
-              break;
-            case SpatialJoinSpec::Predicate::kNearestD:
-              match = left_geom.isWithinDistance(right_geom, spec_->distance);
-              break;
-            case SpatialJoinSpec::Predicate::kIntersects:
-              match = left_geom.intersects(right_geom);
-              break;
-          }
+          match = core::RefineGeosPair(
+              left_geom, *right_->parsed[static_cast<size_t>(id)], predicate);
         } else {
           // Faithful ISP-MC refinement: the UDF receives WKT strings and
           // parses both geometries again (the paper's third parsing site).
@@ -359,18 +323,13 @@ void SpatialJoinNode::ProcessLeftBatch(const RowBatch& left_rows) {
         pending_.push_back(std::move(out));
       },
       &filter_stats);
-  counters_->Add("join.candidates", batch_candidates);
+  counters_->Add(core::counter::kCandidates, batch_candidates);
   if (refinements > 0) counters_->Add("join.refinements", refinements);
-  if (prepared_hits > 0) {
-    counters_->Add("join.prepared_hits", prepared_hits);
-  }
-  if (boundary_fallbacks > 0) {
-    counters_->Add("join.boundary_fallbacks", boundary_fallbacks);
-  }
-  counters_->Add("join.filter_batches", filter_stats.batches);
-  counters_->Add("join.filter_candidates", filter_stats.candidates);
+  refine_stats.FlushTo(counters_);
+  counters_->Add(core::counter::kFilterBatches, filter_stats.batches);
+  counters_->Add(core::counter::kFilterCandidates, filter_stats.candidates);
   if (filter_stats.simd_lanes > 0) {
-    counters_->Add("join.filter_simd_lanes_used", filter_stats.simd_lanes);
+    counters_->Add(core::counter::kFilterSimdLanes, filter_stats.simd_lanes);
   }
 }
 

@@ -8,14 +8,12 @@
 #include "common/counters.h"
 #include "common/result.h"
 #include "dfs/sim_file_system.h"
-#include "geom/prepared.h"
+#include "exec/built_right.h"
 #include "geosim/geometry.h"
 #include "impala/analyzer.h"
 #include "impala/catalog.h"
 #include "impala/types.h"
-#include "index/packed_str_tree.h"
 #include "index/probe_options.h"
-#include "index/str_tree.h"
 
 namespace cloudjoin::impala {
 
@@ -64,31 +62,21 @@ class HdfsScanNode final : public ExecNode {
 };
 
 /// The broadcast right side of a join, shared (read-only) by all fragment
-/// instances: the materialized rows, their geometry column, and the R-tree
-/// built over their (radius-expanded) envelopes.
+/// instances: the execution core's BuiltRight (WKT + STR-tree + optional
+/// prepared grids) plus the Impala-specific retentions — the materialized
+/// rows the join output projects from, and the parsed-geometry ablation
+/// cache.
 ///
 /// This models ISP-MC's behaviour: each Impala instance receives all right
 /// row batches and builds an in-memory R-tree before probing starts.
-struct BroadcastRight {
+struct BroadcastRight : cloudjoin::exec::BuiltRight {
   std::vector<Row> rows;
-  /// WKT string per row (borrowed view into rows for refinement calls).
-  std::vector<std::string> wkt;
-  std::unique_ptr<index::StrTree> tree;
-  /// Columnar (SoA) layout pass over `tree`, broadcast and cached with it
-  /// so every fragment probes the packed columns without a rebuild.
-  std::unique_ptr<index::PackedStrTree> packed;
   /// Parsed geometries, filled only when geometry caching is enabled (the
   /// reuse-parsed-geometries ablation; off = the paper's faithful re-parse
   /// behaviour).
   std::vector<std::unique_ptr<geosim::Geometry>> parsed;
-  /// Prepared point-in-polygon grids, filled only when geometry
-  /// preparation is enabled; slot-aligned with `rows`, nullptr for records
-  /// that are not polygons or are below the vertex threshold.
-  std::vector<std::unique_ptr<geom::PreparedPolygon>> prepared;
   /// Estimated serialized size (what the network broadcast ships).
   int64_t bytes = 0;
-  /// Measured wall-clock to scan + parse + index the right side once.
-  double build_seconds = 0.0;
 
   /// Approximate resident size of the whole structure (rows + WKT + tree +
   /// cached parses + prepared grids) — what the serving tier's index cache

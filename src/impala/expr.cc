@@ -4,8 +4,10 @@
 #include <mutex>
 
 #include "common/logging.h"
+#include "exec/geo_parse.h"
+#include "exec/refiner.h"
+#include "exec/spatial_predicate.h"
 #include "geosim/geometry.h"
-#include "geosim/wkt_reader.h"
 
 namespace cloudjoin::impala {
 
@@ -137,15 +139,14 @@ std::vector<std::string> UdfRegistry::ListNames() const {
 
 namespace {
 
-/// Parses a WKT value through the GEOS-role library. Returns nullptr for
-/// NULL/invalid input (the row then fails the predicate, mirroring the
-/// `.filter(_._2.isSuccess)` drop in the paper's SpatialSpark listing).
+/// Parses a WKT value through the execution core's one GEOS-role entry
+/// point. Returns nullptr for NULL/invalid input (the row then evaluates
+/// to NULL — observable in projections — so the UDFs must not turn parse
+/// failure into false).
 std::unique_ptr<geosim::Geometry> ParseGeosWkt(const Value& v) {
   const auto* s = std::get_if<std::string>(&v);
   if (s == nullptr) return nullptr;
-  static const geosim::GeometryFactory factory;
-  geosim::WKTReader reader(&factory);
-  auto parsed = reader.read(*s);
+  auto parsed = cloudjoin::exec::ParseGeosWkt(*s);
   if (!parsed.ok()) return nullptr;
   return std::move(parsed).value();
 }
@@ -165,13 +166,15 @@ void RegisterSpatialUdfs() {
 
     // ST_WITHIN(geom_wkt, geom_wkt) -> BOOLEAN. Both arguments are parsed
     // per call — the paper's documented third parsing site ("applying UDFs
-    // for evaluating spatial relationships of paired tuples").
+    // for evaluating spatial relationships of paired tuples") — and the
+    // relationship evaluates through the core's one GEOS-role dispatch.
     registry.Register(ScalarUdf{
         "ST_WITHIN", 2, ColumnType::kBool, [](const std::vector<Value>& args) {
           auto a = ParseGeosWkt(args[0]);
           auto b = ParseGeosWkt(args[1]);
           if (!a || !b) return Value{};
-          return Value{a->within(b.get())};
+          return Value{cloudjoin::exec::RefineGeosPair(
+              *a, *b, cloudjoin::exec::SpatialPredicate::Within())};
         }});
 
     // ST_NEARESTD(geom_wkt, geom_wkt, distance) -> BOOLEAN: true when the
@@ -182,7 +185,10 @@ void RegisterSpatialUdfs() {
           auto a = ParseGeosWkt(args[0]);
           auto b = ParseGeosWkt(args[1]);
           if (!a || !b) return Value{};
-          return Value{a->isWithinDistance(b.get(), GetNumeric(args[2], 0))};
+          return Value{cloudjoin::exec::RefineGeosPair(
+              *a, *b,
+              cloudjoin::exec::SpatialPredicate::NearestD(
+                  GetNumeric(args[2], 0)))};
         }});
 
     registry.Register(ScalarUdf{
@@ -191,7 +197,8 @@ void RegisterSpatialUdfs() {
           auto a = ParseGeosWkt(args[0]);
           auto b = ParseGeosWkt(args[1]);
           if (!a || !b) return Value{};
-          return Value{a->intersects(b.get())};
+          return Value{cloudjoin::exec::RefineGeosPair(
+              *a, *b, cloudjoin::exec::SpatialPredicate::Intersects())};
         }});
 
     registry.Register(ScalarUdf{

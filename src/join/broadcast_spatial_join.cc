@@ -1,136 +1,14 @@
 #include "join/broadcast_spatial_join.h"
 
 #include <algorithm>
+#include <memory>
+#include <span>
+#include <utility>
 
 #include "common/logging.h"
-#include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace cloudjoin::join {
-
-void ProbeStats::FlushTo(Counters* counters) const {
-  if (counters == nullptr) return;
-  if (candidates != 0) counters->Add("join.candidates", candidates);
-  if (matches != 0) counters->Add("join.matches", matches);
-  if (prepared_hits != 0) counters->Add("join.prepared_hits", prepared_hits);
-  if (boundary_fallbacks != 0) {
-    counters->Add("join.boundary_fallbacks", boundary_fallbacks);
-  }
-  if (filter_batches != 0) {
-    counters->Add("join.filter_batches", filter_batches);
-  }
-  if (filter_candidates != 0) {
-    counters->Add("join.filter_candidates", filter_candidates);
-  }
-  if (filter_simd_lanes != 0) {
-    counters->Add("join.filter_simd_lanes_used", filter_simd_lanes);
-  }
-}
-
-namespace {
-
-bool IsPreparable(const geom::Geometry& g, int min_vertices) {
-  return (g.type() == geom::GeometryType::kPolygon ||
-          g.type() == geom::GeometryType::kMultiPolygon) &&
-         g.NumCoords() >= min_vertices;
-}
-
-}  // namespace
-
-BroadcastIndex::BroadcastIndex(std::vector<IdGeometry> records, double radius,
-                               const PrepareOptions& prepare)
-    : records_(std::move(records)) {
-  std::vector<index::StrTree::Entry> entries;
-  entries.reserve(records_.size());
-  for (size_t i = 0; i < records_.size(); ++i) {
-    geom::Envelope env = records_[i].geometry.envelope();
-    env.ExpandBy(radius);
-    entries.push_back(
-        index::StrTree::Entry{env, static_cast<int64_t>(i)});
-  }
-  tree_ = std::make_unique<index::StrTree>(std::move(entries));
-  packed_ = std::make_unique<index::PackedStrTree>(*tree_);
-
-  if (prepare.enabled && !records_.empty()) {
-    Stopwatch prepare_watch;  // wall clock: preparation may be parallel
-    prepared_.resize(records_.size());
-    auto prepare_one = [this, &prepare](int64_t i) {
-      const geom::Geometry& g = records_[static_cast<size_t>(i)].geometry;
-      if (IsPreparable(g, prepare.min_vertices)) {
-        prepared_[static_cast<size_t>(i)] =
-            std::make_unique<geom::PreparedPolygon>(g, prepare.grid_side);
-      }
-    };
-    if (prepare.pool != nullptr) {
-      ParallelFor(prepare.pool, static_cast<int64_t>(records_.size()),
-                  prepare_one);
-    } else {
-      for (int64_t i = 0; i < static_cast<int64_t>(records_.size()); ++i) {
-        prepare_one(i);
-      }
-    }
-    for (const auto& p : prepared_) num_prepared_ += p != nullptr ? 1 : 0;
-    prepare_seconds_ = prepare_watch.ElapsedSeconds();
-  }
-}
-
-bool RefinePair(const geom::Geometry& left, const geom::Geometry& right,
-                const SpatialPredicate& predicate) {
-  switch (predicate.op) {
-    case SpatialOperator::kWithin:
-      return geom::Within(left, right);
-    case SpatialOperator::kNearestD:
-      return geom::WithinDistance(left, right, predicate.distance);
-    case SpatialOperator::kIntersects:
-      return geom::Intersects(left, right);
-  }
-  return false;
-}
-
-bool BroadcastIndex::RefineCandidate(const geom::Geometry& probe, size_t slot,
-                                     const SpatialPredicate& predicate,
-                                     ProbeStats* stats) const {
-  if (!prepared_.empty() && predicate.op == SpatialOperator::kWithin &&
-      probe.type() == geom::GeometryType::kPoint && !probe.IsEmpty()) {
-    const geom::PreparedPolygon* prep = prepared_[slot].get();
-    if (prep != nullptr) {
-      ++stats->prepared_hits;
-      bool fallback = false;
-      bool contained = prep->Contains(probe.FirstPoint(), &fallback);
-      if (fallback) ++stats->boundary_fallbacks;
-      return contained;
-    }
-  }
-  return RefinePair(probe, records_[slot].geometry, predicate);
-}
-
-void BroadcastIndex::Probe(const IdGeometry& probe,
-                           const SpatialPredicate& predicate,
-                           std::vector<IdPair>* out,
-                           Counters* counters) const {
-  ProbeStats stats;
-  ProbeVisit(probe, predicate,
-             [out](const IdPair& pair) { out->push_back(pair); }, &stats);
-  stats.FlushTo(counters);
-}
-
-void BroadcastIndex::ProbeBatch(std::span<const IdGeometry> probes,
-                                const SpatialPredicate& predicate,
-                                std::vector<IdPair>* out, Counters* counters,
-                                const ProbeOptions& probe_options) const {
-  ProbeStats stats;
-  ProbeRangeVisit(probes, predicate, probe_options,
-                  [out](int64_t, const IdPair& pair) { out->push_back(pair); },
-                  &stats);
-  stats.FlushTo(counters);
-}
-
-int64_t BroadcastIndex::MemoryBytes() const {
-  int64_t bytes = tree_->MemoryBytes() + packed_->MemoryBytes();
-  for (const IdGeometry& r : records_) {
-    bytes += 16 + r.geometry.NumCoords() * static_cast<int64_t>(sizeof(geom::Point));
-  }
-  return bytes;
-}
 
 std::vector<IdPair> BroadcastSpatialJoin(const std::vector<IdGeometry>& left,
                                          std::vector<IdGeometry> right,

@@ -2,224 +2,36 @@
 #define CLOUDJOIN_JOIN_BROADCAST_SPATIAL_JOIN_H_
 
 #include <cstdint>
-#include <memory>
-#include <span>
-#include <string>
-#include <utility>
 #include <vector>
 
 #include "common/counters.h"
-#include "common/thread_pool.h"
-#include "geom/geometry.h"
-#include "geom/predicates.h"
-#include "geom/prepared.h"
-#include "index/batch_prober.h"
-#include "index/packed_str_tree.h"
+#include "exec/broadcast_index.h"
+#include "exec/id_geometry.h"
+#include "exec/prepare_options.h"
+#include "exec/probe_stats.h"
+#include "exec/refiner.h"
 #include "index/probe_options.h"
-#include "index/str_tree.h"
 #include "join/spatial_predicate.h"
 
 namespace cloudjoin::join {
 
-/// An (id, geometry) record — the element type both prototype systems
-/// reduce their inputs to before joining.
-struct IdGeometry {
-  int64_t id = 0;
-  geom::Geometry geometry{geom::GeometryType::kPoint};
-};
-
-/// An (left id, right id) join match.
-using IdPair = std::pair<int64_t, int64_t>;
-
-/// Probe-side batching knobs (batch size, Hilbert ordering, packed SoA
-/// filter), shared with the index layer so the impala runtime can carry
-/// them without depending on join.
+/// The join layer is an engine shell over the shared execution core in
+/// src/exec/ — record types, build, index, and refinement all live there;
+/// these aliases keep the engine-facing names stable.
+using IdGeometry = exec::IdGeometry;
+using IdPair = exec::IdPair;
 using ProbeOptions = index::ProbeOptions;
-
-/// Tuning for prepared-geometry refinement: whether to build a
-/// `geom::PreparedPolygon` per right-side polygon record, and when.
-///
-/// This is the paper's "boosting the performance of geometry operations"
-/// future-work direction: when one polygon is refined against many point
-/// probes (the broadcast-join access pattern), the grid preparation
-/// amortizes and `kWithin` refinement drops from O(vertices) to O(1)
-/// outside boundary cells.
-struct PrepareOptions {
-  /// Off by default: exact refinement, the seed behaviour.
-  bool enabled = false;
-  /// Only polygons with at least this many vertices are prepared; smaller
-  /// ones refine exactly (preparation would cost more than it saves).
-  int min_vertices = geom::kDefaultPrepareMinVertices;
-  /// Grid resolution per axis (see PreparedPolygon).
-  int grid_side = geom::kDefaultPreparedGridSide;
-  /// Optional worker pool: when set, per-record preparation runs in
-  /// parallel (records are independent). When null, preparation is serial.
-  ThreadPool* pool = nullptr;
-
-  static PrepareOptions Prepared(ThreadPool* pool = nullptr) {
-    PrepareOptions options;
-    options.enabled = true;
-    options.pool = pool;
-    return options;
-  }
-
-  /// Canonical rendering of the result-relevant build knobs (the pool only
-  /// affects build wall-clock, never the built structure, so it is not
-  /// part of the fingerprint). Serving-layer cache keys embed this.
-  std::string Fingerprint() const {
-    if (!enabled) return "exact";
-    return "prepared:minv=" + std::to_string(min_vertices) +
-           ":grid=" + std::to_string(grid_side);
-  }
-};
-
-/// Per-probe (or per-batch) refinement statistics, accumulated locally and
-/// flushed to a `Counters` once — keeps the mutex off the probe hot path.
-struct ProbeStats {
-  int64_t candidates = 0;
-  int64_t matches = 0;
-  /// Candidates refined through a prepared grid instead of the exact test.
-  int64_t prepared_hits = 0;
-  /// Prepared refinements that landed in a boundary cell and fell back to
-  /// the exact ray-crossing test.
-  int64_t boundary_fallbacks = 0;
-  /// Columnar filter phase: EnvelopeBatches processed, candidates the
-  /// batch kernel emitted, and SIMD lanes the explicit kernel tested
-  /// (0 on the scalar / per-record paths).
-  int64_t filter_batches = 0;
-  int64_t filter_candidates = 0;
-  int64_t filter_simd_lanes = 0;
-
-  void MergeFrom(const ProbeStats& other) {
-    candidates += other.candidates;
-    matches += other.matches;
-    prepared_hits += other.prepared_hits;
-    boundary_fallbacks += other.boundary_fallbacks;
-    filter_batches += other.filter_batches;
-    filter_candidates += other.filter_candidates;
-    filter_simd_lanes += other.filter_simd_lanes;
-  }
-
-  void AddFilter(const index::BatchStats& filter) {
-    filter_batches += filter.batches;
-    filter_candidates += filter.candidates;
-    filter_simd_lanes += filter.simd_lanes;
-  }
-
-  /// Adds the non-zero fields to `counters` (no-op on nullptr).
-  void FlushTo(Counters* counters) const;
-};
-
-/// The broadcast side of the join: the right-side records plus the STR-tree
-/// over their (radius-expanded) envelopes, and — when prepared refinement
-/// is enabled — a grid accelerator per sufficiently complex polygon.
-/// Build once, probe from anywhere (probes are const and thread-safe).
-class BroadcastIndex {
- public:
-  /// Builds the index; `radius` expands every envelope (NearestD filter).
-  /// `prepare` controls prepared-geometry refinement (off = exact).
-  BroadcastIndex(std::vector<IdGeometry> records, double radius,
-                 const PrepareOptions& prepare = PrepareOptions());
-
-  /// Statically dispatched probe: filters `probe` through the STR-tree and
-  /// refines every candidate, calling `emit(IdPair)` for each match. No
-  /// indirect call and no allocation per probe. `stats` must be non-null.
-  template <typename Emit>
-  void ProbeVisit(const IdGeometry& probe, const SpatialPredicate& predicate,
-                  Emit&& emit, ProbeStats* stats) const {
-    tree_->VisitQuery(probe.geometry.envelope(), [&](int64_t slot) {
-      ++stats->candidates;
-      if (RefineCandidate(probe.geometry, static_cast<size_t>(slot),
-                          predicate, stats)) {
-        ++stats->matches;
-        emit(IdPair(probe.id, records_[static_cast<size_t>(slot)].id));
-      }
-    });
-  }
-
-  /// Refines `probe` against every filtered candidate, appending matches
-  /// (probe_id, right_id) to `out`. Counters (optional): filter candidates,
-  /// refinement tests, and prepared/fallback refinement counts.
-  void Probe(const IdGeometry& probe, const SpatialPredicate& predicate,
-             std::vector<IdPair>* out, Counters* counters = nullptr) const;
-
-  /// Columnar two-phase probe over a contiguous range: filters `probes` in
-  /// `probe_options.batch_size`-sized EnvelopeBatches through the packed
-  /// (or pointer) tree, then refines the dense candidate buffer with the
-  /// original probe order restored. Calls `emit(i, pair)` — `i` the
-  /// probe's index within `probes` — for exactly the matches per-record
-  /// ProbeVisit would emit, in the same order, for every knob combination.
-  template <typename Emit>
-  void ProbeRangeVisit(std::span<const IdGeometry> probes,
-                       const SpatialPredicate& predicate,
-                       const ProbeOptions& probe_options, Emit&& emit,
-                       ProbeStats* stats) const {
-    index::BatchStats filter_stats;
-    index::RunBatchedProbes(
-        static_cast<int64_t>(probes.size()), *tree_, packed_.get(),
-        probe_options,
-        [&](int64_t i) {
-          return probes[static_cast<size_t>(i)].geometry.envelope();
-        },
-        [&](int64_t i, int64_t slot) {
-          const IdGeometry& probe = probes[static_cast<size_t>(i)];
-          ++stats->candidates;
-          if (RefineCandidate(probe.geometry, static_cast<size_t>(slot),
-                              predicate, stats)) {
-            ++stats->matches;
-            emit(i, IdPair(probe.id, records_[static_cast<size_t>(slot)].id));
-          }
-        },
-        &filter_stats);
-    stats->AddFilter(filter_stats);
-  }
-
-  /// Row-batch probe (mirrors ISP-MC's vectorized execution): probes every
-  /// record of `probes` in order, appending matches to `out`; counter
-  /// updates are amortized over the whole batch instead of per record.
-  /// Runs the columnar path per `probe_options` (default: on).
-  void ProbeBatch(std::span<const IdGeometry> probes,
-                  const SpatialPredicate& predicate, std::vector<IdPair>* out,
-                  Counters* counters = nullptr,
-                  const ProbeOptions& probe_options = ProbeOptions()) const;
-
-  int64_t size() const { return static_cast<int64_t>(records_.size()); }
-  const index::StrTree& tree() const { return *tree_; }
-  const index::PackedStrTree& packed() const { return *packed_; }
-
-  /// Number of right-side records carrying a prepared grid (0 when
-  /// preparation is disabled).
-  int64_t num_prepared() const { return num_prepared_; }
-
-  /// Wall-clock spent building prepared grids (0 when disabled).
-  double prepare_seconds() const { return prepare_seconds_; }
-
-  /// Approximate broadcast payload size (records + tree).
-  int64_t MemoryBytes() const;
-
- private:
-  /// Refines one candidate: prepared-grid point-in-polygon when available
-  /// for kWithin point probes, exact predicate otherwise.
-  bool RefineCandidate(const geom::Geometry& probe, size_t slot,
-                       const SpatialPredicate& predicate,
-                       ProbeStats* stats) const;
-
-  std::vector<IdGeometry> records_;
-  /// Slot-aligned with records_; empty when preparation is disabled,
-  /// nullptr per slot for records below the vertex threshold.
-  std::vector<std::unique_ptr<geom::PreparedPolygon>> prepared_;
-  std::unique_ptr<index::StrTree> tree_;
-  /// SoA layout pass over tree_ (always built: a linear copy of the
-  /// columns, cached and broadcast alongside the pointer tree).
-  std::unique_ptr<index::PackedStrTree> packed_;
-  int64_t num_prepared_ = 0;
-  double prepare_seconds_ = 0.0;
-};
+using PrepareOptions = exec::PrepareOptions;
+using ProbeStats = exec::ProbeStats;
+using BroadcastIndex = exec::BroadcastIndex;
 
 /// Evaluates `predicate` between two parsed geometries (the refinement
-/// step, shared by all fast-path joins).
-bool RefinePair(const geom::Geometry& left, const geom::Geometry& right,
-                const SpatialPredicate& predicate);
+/// step, shared by all fast-path joins) — the exec core's flat-kernel
+/// dispatch.
+inline bool RefinePair(const geom::Geometry& left, const geom::Geometry& right,
+                       const SpatialPredicate& predicate) {
+  return exec::RefineGeomPair(left, right, predicate);
+}
 
 /// The paper's core algorithm: build an STR-tree over `right`, stream
 /// `left` through it, refine candidates. Returns matched (left_id,

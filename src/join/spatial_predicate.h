@@ -1,46 +1,15 @@
 #ifndef CLOUDJOIN_JOIN_SPATIAL_PREDICATE_H_
 #define CLOUDJOIN_JOIN_SPATIAL_PREDICATE_H_
 
-#include <string>
+#include "exec/spatial_predicate.h"
 
 namespace cloudjoin::join {
 
-/// The spatial relationship tested by a join — the paper's two operators
-/// plus Intersects.
-enum class SpatialOperator {
-  /// Point-in-polygon containment: left WITHIN right.
-  kWithin,
-  /// left within distance D of right (nearest polyline search).
-  kNearestD,
-  /// Geometries intersect.
-  kIntersects,
-};
-
-const char* SpatialOperatorToString(SpatialOperator op);
-
-/// A fully specified join predicate: the operator plus its distance
-/// parameter (used by kNearestD only).
-struct SpatialPredicate {
-  SpatialOperator op = SpatialOperator::kWithin;
-  double distance = 0.0;
-
-  static SpatialPredicate Within() {
-    return SpatialPredicate{SpatialOperator::kWithin, 0.0};
-  }
-  static SpatialPredicate NearestD(double distance) {
-    return SpatialPredicate{SpatialOperator::kNearestD, distance};
-  }
-  static SpatialPredicate Intersects() {
-    return SpatialPredicate{SpatialOperator::kIntersects, 0.0};
-  }
-
-  /// Envelope expansion radius for the filter step.
-  double FilterRadius() const {
-    return op == SpatialOperator::kNearestD ? distance : 0.0;
-  }
-
-  std::string ToString() const;
-};
+/// Predicate types live in the shared execution core (src/exec/); the
+/// join layer re-exports them under its historical names.
+using SpatialOperator = exec::SpatialOperator;
+using SpatialPredicate = exec::SpatialPredicate;
+using exec::SpatialOperatorToString;
 
 }  // namespace cloudjoin::join
 

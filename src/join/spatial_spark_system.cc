@@ -8,9 +8,8 @@
 #include "common/strings.h"
 #include <algorithm>
 
-#include "geom/wkb.h"
+#include "exec/geo_parse.h"
 #include "index/spatial_partitioner.h"
-#include "geom/wkt.h"
 #include "spark/spark_context.h"
 
 namespace cloudjoin::join {
@@ -49,9 +48,8 @@ spark::Rdd<IdGeometry> GeometryById(spark::SparkContext* ctx,
             ParsedRecord out;
             out.id = rec.second;
             if (geom_col < static_cast<int>(rec.first.size())) {
-              auto parsed = encoding == GeometryEncoding::kWkbHex
-                                ? geom::ReadWkbHex(rec.first[geom_col])
-                                : geom::ReadWkt(rec.first[geom_col]);
+              auto parsed =
+                  exec::ParseGeometryText(rec.first[geom_col], encoding);
               if (parsed.ok()) {
                 out.ok = true;
                 out.geometry = std::move(parsed).value();

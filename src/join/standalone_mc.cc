@@ -2,60 +2,16 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "common/stopwatch.h"
-#include "common/strings.h"
-#include "geom/prepared.h"
-#include "geom/wkt.h"
-#include "geosim/geometry.h"
-#include "geosim/wkt_reader.h"
-#include "index/batch_prober.h"
-#include "index/str_tree.h"
+#include "exec/counter_names.h"
+#include "exec/probe_scanner.h"
+#include "exec/probe_stats.h"
+#include "exec/right_builder.h"
 #include "sim/scheduler.h"
 
 namespace cloudjoin::join {
-
-namespace {
-
-const geosim::GeometryFactory& Factory() {
-  static const geosim::GeometryFactory factory;
-  return factory;
-}
-
-/// Refines one candidate pair exactly the way the ISP-MC UDF does: parse
-/// both WKT strings (again) and evaluate through the GEOS-role library.
-bool RefineWkt(const std::string& left_wkt, const std::string& right_wkt,
-               const SpatialPredicate& predicate) {
-  geosim::WKTReader reader(&Factory());
-  auto left = reader.read(left_wkt);
-  auto right = reader.read(right_wkt);
-  if (!left.ok() || !right.ok()) return false;
-  switch (predicate.op) {
-    case SpatialOperator::kWithin:
-      return (*left)->within(right->get());
-    case SpatialOperator::kNearestD:
-      return (*left)->isWithinDistance(right->get(), predicate.distance);
-    case SpatialOperator::kIntersects:
-      return (*left)->intersects(right->get());
-  }
-  return false;
-}
-
-}  // namespace
-
-int64_t StandaloneRight::MemoryBytes() const {
-  int64_t total = static_cast<int64_t>(sizeof(*this)) +
-                  static_cast<int64_t>(ids.size() * sizeof(int64_t));
-  for (const std::string& s : wkt) {
-    total += static_cast<int64_t>(sizeof(std::string) + s.capacity());
-  }
-  for (const auto& p : prepared) {
-    if (p != nullptr) total += p->MemoryBytes();
-  }
-  if (tree != nullptr) total += tree->MemoryBytes();
-  if (packed != nullptr) total += packed->MemoryBytes();
-  return total;
-}
 
 StandaloneMc::StandaloneMc(dfs::SimFileSystem* fs) : fs_(fs) {
   CLOUDJOIN_CHECK(fs != nullptr);
@@ -66,70 +22,12 @@ Result<std::shared_ptr<const StandaloneRight>> StandaloneMc::BuildRight(
     const PrepareOptions& prepare, Counters* counters) {
   CLOUDJOIN_ASSIGN_OR_RETURN(const dfs::SimFile* right_file,
                              fs_->GetFile(right.path));
-  geosim::WKTReader reader(&Factory());
-  auto built = std::make_shared<StandaloneRight>();
-
-  CpuTimer build_watch;
-  std::vector<index::StrTree::Entry> entries;
-  {
-    dfs::LineRecordReader lines(right_file->data(), 0, right_file->size());
-    std::string_view line;
-    const double radius = predicate.FilterRadius();
-    while (lines.Next(&line)) {
-      std::vector<std::string_view> fields = StrSplit(line, right.separator);
-      if (static_cast<int>(fields.size()) <= right.geometry_column ||
-          static_cast<int>(fields.size()) <= right.id_column) {
-        if (counters != nullptr) counters->Add("standalone.right_malformed", 1);
-        continue;
-      }
-      auto id = ParseInt64(fields[right.id_column]);
-      if (!id.ok()) {
-        if (counters != nullptr) counters->Add("standalone.right_malformed", 1);
-        continue;
-      }
-      auto parsed = reader.read(fields[right.geometry_column]);
-      if (!parsed.ok()) {
-        if (counters != nullptr) counters->Add("standalone.right_bad_geom", 1);
-        continue;
-      }
-      geom::Envelope env = (*parsed)->getEnvelopeInternal();
-      env.ExpandBy(radius);
-      entries.push_back(index::StrTree::Entry{
-          env, static_cast<int64_t>(built->ids.size())});
-      built->ids.push_back(*id);
-      built->wkt.emplace_back(fields[right.geometry_column]);
-      if (prepare.enabled) {
-        // Second parse through the flat kernel, but only for polygons
-        // above the vertex threshold, once per right record.
-        std::unique_ptr<geom::PreparedPolygon> prep;
-        const geosim::GeometryTypeId type_id = (*parsed)->getGeometryTypeId();
-        if ((type_id == geosim::GeometryTypeId::kPolygon ||
-             type_id == geosim::GeometryTypeId::kMultiPolygon) &&
-            (*parsed)->getNumPoints() >=
-                static_cast<size_t>(prepare.min_vertices)) {
-          auto flat = geom::ReadWkt(built->wkt.back());
-          if (flat.ok()) {
-            prep = std::make_unique<geom::PreparedPolygon>(
-                std::move(flat).value(), prepare.grid_side);
-          }
-        }
-        built->prepared.push_back(std::move(prep));
-      }
-    }
-  }
-  built->tree = std::make_unique<index::StrTree>(std::move(entries));
-  built->packed = std::make_unique<index::PackedStrTree>(*built->tree);
-  built->build_seconds = build_watch.ElapsedSeconds();
-  if (counters != nullptr) {
-    counters->Add("standalone.right_rows",
-                  static_cast<int64_t>(built->ids.size()));
-    int64_t num_prepared = 0;
-    for (const auto& p : built->prepared) num_prepared += p != nullptr ? 1 : 0;
-    if (num_prepared > 0) {
-      counters->Add("standalone.prepared_records", num_prepared);
-    }
-  }
-  return std::shared_ptr<const StandaloneRight>(std::move(built));
+  CLOUDJOIN_ASSIGN_OR_RETURN(
+      exec::BuiltRight built,
+      exec::BuildRightFromTable(*right_file, right, predicate.FilterRadius(),
+                                prepare, counters));
+  return std::shared_ptr<const StandaloneRight>(
+      std::make_shared<StandaloneRight>(std::move(built)));
 }
 
 Result<StandaloneRun> StandaloneMc::Join(
@@ -140,7 +38,6 @@ Result<StandaloneRun> StandaloneMc::Join(
   CLOUDJOIN_ASSIGN_OR_RETURN(const dfs::SimFile* left_file,
                              fs_->GetFile(left.path));
   StandaloneRun run;
-  geosim::WKTReader reader(&Factory());
 
   // ---- Build phase: scan + parse + index the right side — unless a
   // retained artifact is injected, in which case the build is free. ----
@@ -151,116 +48,27 @@ Result<StandaloneRun> StandaloneMc::Join(
     run.build_seconds = side->build_seconds;
   } else {
     run.build_seconds = 0.0;
-    run.counters.Add("join.index_cache_hit", 1);
+    run.counters.Add(exec::counter::kIndexCacheHit, 1);
   }
-  const std::vector<int64_t>& right_ids = side->ids;
-  const std::vector<std::string>& right_wkt = side->wkt;
-  const std::vector<std::unique_ptr<geom::PreparedPolygon>>& right_prepared =
-      side->prepared;
-  const index::StrTree& tree = *side->tree;
 
   // ---- Probe phase: one task per left block, each block a row batch.
-  // The block's records are parsed first, then the columnar driver
-  // filters the whole block (packed tree + optional Hilbert ordering) and
-  // refinement streams the dense candidate buffer — the same two-phase
-  // split as the engine paths, with per-pair WKT re-parse preserved. ----
-  int64_t prepared_hits = 0;
-  int64_t boundary_fallbacks = 0;
-  index::BatchStats filter_stats;
-  std::vector<int64_t> probe_ids;
-  std::vector<std::string> probe_wkt;
-  std::vector<std::unique_ptr<geosim::Geometry>> probe_geoms;
+  // The core's ProbeScanner parses the block, then the shared two-phase
+  // driver filters it (packed tree + optional Hilbert ordering) and the
+  // GeosRefiner streams the dense candidate buffer — per-pair WKT
+  // re-parse preserved exactly as the ISP-MC UDF does it. ----
+  exec::ProbeScanner scanner(left, &run.counters);
+  exec::GeosProbeBatch batch;
+  exec::ProbeStats stats;
   for (const dfs::BlockInfo& block : left_file->blocks()) {
     CpuTimer block_watch;
-    dfs::LineRecordReader lines(left_file->data(), block.offset, block.length);
-    std::string_view line;
-    probe_ids.clear();
-    probe_wkt.clear();
-    probe_geoms.clear();
-    while (lines.Next(&line)) {
-      std::vector<std::string_view> fields = StrSplit(line, left.separator);
-      if (static_cast<int>(fields.size()) <= left.geometry_column ||
-          static_cast<int>(fields.size()) <= left.id_column) {
-        run.counters.Add("standalone.left_malformed", 1);
-        continue;
-      }
-      auto id = ParseInt64(fields[left.id_column]);
-      if (!id.ok()) {
-        run.counters.Add("standalone.left_malformed", 1);
-        continue;
-      }
-      std::string left_wkt(fields[left.geometry_column]);
-      auto parsed = reader.read(left_wkt);
-      if (!parsed.ok()) {
-        run.counters.Add("standalone.left_bad_geom", 1);
-        continue;
-      }
-      probe_ids.push_back(*id);
-      probe_wkt.push_back(std::move(left_wkt));
-      probe_geoms.push_back(std::move(parsed).value());
-    }
-
-    int64_t block_candidates = 0;
-    index::RunBatchedProbes(
-        static_cast<int64_t>(probe_geoms.size()), tree, side->packed.get(),
-        probe,
-        [&](int64_t i) {
-          return probe_geoms[static_cast<size_t>(i)]->getEnvelopeInternal();
-        },
-        [&](int64_t i, int64_t slot) {
-          ++block_candidates;
-          const geosim::Geometry* left_geom =
-              probe_geoms[static_cast<size_t>(i)].get();
-          // Prepared fast path: kWithin point probes against prepared
-          // right polygons skip the per-pair WKT re-parse entirely.
-          const geosim::PointImpl* left_point = nullptr;
-          if (!right_prepared.empty() &&
-              predicate.op == SpatialOperator::kWithin &&
-              left_geom->getGeometryTypeId() ==
-                  geosim::GeometryTypeId::kPoint) {
-            left_point = static_cast<const geosim::PointImpl*>(left_geom);
-          }
-          bool match = false;
-          const geom::PreparedPolygon* prep =
-              left_point != nullptr
-                  ? right_prepared[static_cast<size_t>(slot)].get()
-                  : nullptr;
-          if (prep != nullptr) {
-            ++prepared_hits;
-            bool fallback = false;
-            match = prep->Contains(
-                geom::Point{left_point->getX(), left_point->getY()},
-                &fallback);
-            if (fallback) ++boundary_fallbacks;
-          } else {
-            match = RefineWkt(probe_wkt[static_cast<size_t>(i)],
-                              right_wkt[static_cast<size_t>(slot)], predicate);
-          }
-          if (match) {
-            run.pairs.emplace_back(probe_ids[static_cast<size_t>(i)],
-                                   right_ids[static_cast<size_t>(slot)]);
-          }
-        },
-        &filter_stats);
-    if (!probe_ids.empty()) {
-      run.counters.Add("standalone.candidates", block_candidates);
-    }
+    batch.Clear();
+    scanner.ScanBlock(*left_file, block.offset, block.length, &batch);
+    exec::RunGeosProbes(
+        batch, *side, predicate, probe,
+        [&run](const IdPair& pair) { run.pairs.push_back(pair); }, &stats);
     run.block_seconds.push_back(block_watch.ElapsedSeconds());
   }
-  if (prepared_hits > 0) {
-    run.counters.Add("standalone.prepared_hits", prepared_hits);
-  }
-  if (boundary_fallbacks > 0) {
-    run.counters.Add("standalone.boundary_fallbacks", boundary_fallbacks);
-  }
-  if (filter_stats.batches > 0) {
-    run.counters.Add("standalone.filter_batches", filter_stats.batches);
-    run.counters.Add("standalone.filter_candidates", filter_stats.candidates);
-    if (filter_stats.simd_lanes > 0) {
-      run.counters.Add("standalone.filter_simd_lanes_used",
-                       filter_stats.simd_lanes);
-    }
-  }
+  stats.FlushTo(&run.counters);
   return run;
 }
 

@@ -8,8 +8,7 @@
 #include "common/counters.h"
 #include "common/result.h"
 #include "dfs/sim_file_system.h"
-#include "geom/prepared.h"
-#include "index/str_tree.h"
+#include "exec/built_right.h"
 #include "join/broadcast_spatial_join.h"
 #include "join/spatial_predicate.h"
 #include "join/table_input.h"
@@ -28,25 +27,12 @@ struct StandaloneRun {
   Counters counters;
 };
 
-/// The reusable build artifact of one standalone right side — everything
-/// the probe phase reads. Build once, probe from anywhere (probe access is
-/// const and thread-safe), so a serving layer can retain it across runs.
-struct StandaloneRight {
-  std::vector<int64_t> ids;
-  std::vector<std::string> wkt;
-  /// Slot-aligned with ids; empty when preparation is disabled.
-  std::vector<std::unique_ptr<geom::PreparedPolygon>> prepared;
-  std::unique_ptr<index::StrTree> tree;
-  /// Columnar layout pass over `tree`, retained (and cached) with it so a
-  /// warmed serving path never rebuilds the SoA columns.
-  std::unique_ptr<index::PackedStrTree> packed;
-  /// Measured wall-clock of the build that produced this artifact.
-  double build_seconds = 0.0;
-
-  /// Approximate resident size (ids + WKT + grids + tree + packed
-  /// layout), for cache memory accounting.
-  int64_t MemoryBytes() const;
-};
+/// The reusable build artifact of one standalone right side — the shared
+/// execution core's BuiltRight (GEOS-kernel flavour: ids + retained WKT +
+/// index + optional prepared grids). Build once, probe from anywhere
+/// (probe access is const and thread-safe), so a serving layer can retain
+/// it across runs.
+using StandaloneRight = exec::BuiltRight;
 
 /// The paper's "standalone version of ISP-MC": the identical join logic —
 /// GEOS-role geometry, per-pair WKT re-parsing in refinement, R-tree
@@ -60,7 +46,8 @@ class StandaloneMc {
 
   /// Scans + parses + indexes the right side once (the build phase of
   /// `Join`, extracted so the artifact can be retained and re-injected).
-  /// `counters` (optional) receives the standalone.right_* build counters.
+  /// `counters` (optional) receives the core's join.right_* build
+  /// counters.
   Result<std::shared_ptr<const StandaloneRight>> BuildRight(
       const TableInput& right, const SpatialPredicate& predicate,
       const PrepareOptions& prepare = PrepareOptions(),

@@ -1,33 +1,15 @@
 #ifndef CLOUDJOIN_JOIN_TABLE_INPUT_H_
 #define CLOUDJOIN_JOIN_TABLE_INPUT_H_
 
-#include <string>
+#include "exec/table_input.h"
 
 namespace cloudjoin::join {
 
-/// How the geometry column is encoded on storage.
-enum class GeometryEncoding {
-  /// Well-Known Text — what the paper's prototypes use throughout.
-  kWkt,
-  /// Hex-encoded Well-Known Binary — the paper's future-work storage
-  /// format ("represent geometry as binary ... to avoid string parsing
-  /// overheads"), supported by the SpatialSpark pipeline here.
-  kWkbHex,
-};
-
-/// Description of one join input stored as delimited text in the DFS —
-/// the same information SpatialSpark takes as command-line arguments and
-/// ISP-MC reads from its metastore.
-struct TableInput {
-  /// DFS path of the text table.
-  std::string path;
-  char separator = '\t';
-  /// 0-based column holding the BIGINT record id.
-  int id_column = 0;
-  /// 0-based column holding the geometry.
-  int geometry_column = 1;
-  GeometryEncoding encoding = GeometryEncoding::kWkt;
-};
+/// Table/input descriptors live in the shared execution core
+/// (src/exec/); the join layer re-exports them under its historical
+/// names.
+using GeometryEncoding = exec::GeometryEncoding;
+using TableInput = exec::TableInput;
 
 }  // namespace cloudjoin::join
 

@@ -314,7 +314,7 @@ TEST_F(PartitionedSparkTest, StandalonePrebuiltRightMatchesInlineBuild) {
   EXPECT_EQ(cached_run->pairs, inline_run->pairs);
   EXPECT_EQ(cached_run->build_seconds, 0.0);
   EXPECT_EQ(cached_run->counters.Get("join.index_cache_hit"), 1);
-  EXPECT_EQ(cached_run->counters.Get("standalone.right_rows"), 0);
+  EXPECT_EQ(cached_run->counters.Get("join.right_rows"), 0);
 }
 
 }  // namespace

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Duplication tripwire for the shared execution core (src/exec/).
+#
+# PR 5 collapsed four near-identical right-side build loops and three
+# refinement dispatch switches into src/exec/. This check fails CI if a
+# copy creeps back in:
+#
+#   1. WKTReader (the GEOS-role parser) may be used only by the kernel
+#      itself (src/geosim/) and the core's one entry point
+#      (src/exec/geo_parse.*). An engine shell parsing WKT directly is a
+#      second scan loop in the making.
+#   2. StrTree::Entry construction (the right-side index build) may appear
+#      only in the index layer (src/index/) and the core's builder
+#      (src/exec/). An engine shell assembling tree entries is a second
+#      right-build loop.
+#
+# Engines must route through exec::ParseGeosWkt / exec::ParseGeometryText
+# and exec::RightIndexBuilder instead.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+check() {
+  local label="$1" pattern="$2" allowed="$3"
+  local hits
+  hits=$(grep -rln "$pattern" src --include='*.cc' --include='*.h' |
+    grep -Ev "$allowed" || true)
+  if [ -n "$hits" ]; then
+    echo "FAIL: $label found outside the execution core:" >&2
+    echo "$hits" | sed 's/^/  /' >&2
+    echo "Route through src/exec/ (see tools/check_no_dup_scan.sh)." >&2
+    fail=1
+  fi
+}
+
+check "WKTReader usage" \
+  "WKTReader" \
+  "^src/(exec/geo_parse|geosim/)"
+
+check "right-side StrTree::Entry build" \
+  "StrTree::Entry" \
+  "^src/(exec/|index/)"
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_no_dup_scan: OK (one scan loop, one parse entry point)"
+fi
+exit "$fail"
