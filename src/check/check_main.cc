@@ -6,7 +6,7 @@
 //
 // Usage:
 //   check_differential [--seeds=N] [--seed-base=B] [--shrink=0]
-//                      [--dfs=0] [--service=0] [--verbose]
+//                      [--dfs=0] [--service=0] [--columnar=0] [--verbose]
 
 #include <cstdio>
 
@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   cloudjoin::check::DifferentialRunner::Options options;
   options.run_dfs_engines = flags.GetBool("dfs", true);
   options.run_service = flags.GetBool("service", true);
+  options.run_columnar = flags.GetBool("columnar", true);
 
   cloudjoin::check::DifferentialRunner runner(options);
   std::vector<cloudjoin::check::Failure> failures =

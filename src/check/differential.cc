@@ -6,6 +6,8 @@
 
 #include "check/shrink.h"
 #include "common/stopwatch.h"
+#include "data/convert.h"
+#include "dfs/columnar_block.h"
 #include "dfs/sim_file_system.h"
 #include "geom/wkb.h"
 #include "impala/types.h"
@@ -184,7 +186,10 @@ CaseOutcome DifferentialRunner::RunCaseQuiet(const DifferentialCase& c) const {
   const std::vector<std::string> spark_engines = {
       "spark/wkt", "spark/wkt_prepared", "spark/wkb", "spark/partitioned",
       "ispmc/sql", "ispmc/sql_cached",   "ispmc/sql_prepared",
-      "standalone/exact", "standalone/prepared"};
+      "standalone/exact", "standalone/prepared",
+      "standalone/columnar", "standalone/columnar_nozonemap",
+      "standalone/columnar_prepared", "ispmc/sql_columnar",
+      "ispmc/sql_columnar_cached"};
   if (!text_applicable) {
     for (const std::string& engine : spark_engines) {
       results.push_back(Skipped(engine));
@@ -258,6 +263,69 @@ CaseOutcome DifferentialRunner::RunCaseQuiet(const DifferentialCase& c) const {
     };
     add_standalone("standalone/exact", join::PrepareOptions());
     add_standalone("standalone/prepared", prepare);
+
+    // -- Columnar-format arms: transcode the same tables to columnar
+    // blocks (tiny blocks, so multi-block files and zone-map pruning are
+    // exercised on every case) and diff the columnar scan/build paths
+    // against the oracle — and, transitively, against their text twins.
+    const std::vector<std::string> columnar_engines = {
+        "standalone/columnar", "standalone/columnar_nozonemap",
+        "standalone/columnar_prepared", "ispmc/sql_columnar",
+        "ispmc/sql_columnar_cached"};
+    if (!options_.run_columnar) {
+      for (const std::string& engine : columnar_engines) {
+        results.push_back(Skipped(engine));
+      }
+    } else {
+      auto left_col = data::ConvertTextTableToColumnar(
+          &fs, left_in, "/check/left.col", options_.columnar_block_rows);
+      auto right_col = data::ConvertTextTableToColumnar(
+          &fs, right_in, "/check/right.col", options_.columnar_block_rows);
+      if (!left_col.ok() || !right_col.ok()) {
+        const Status& bad =
+            left_col.ok() ? right_col.status() : left_col.status();
+        for (const std::string& engine : columnar_engines) {
+          results.push_back(Failed(engine, bad));
+        }
+      } else {
+        auto add_standalone_columnar = [&](const std::string& name,
+                                           const join::PrepareOptions& p,
+                                           const dfs::ScanOptions& scan) {
+          auto run = standalone.Join(*left_col, *right_col, c.predicate, p,
+                                     nullptr, join::ProbeOptions(), scan);
+          if (run.ok()) {
+            results.push_back(Ok(name, std::move(run->pairs)));
+          } else {
+            results.push_back(Failed(name, run.status()));
+          }
+        };
+        dfs::ScanOptions no_zone_map;
+        no_zone_map.zone_map = false;
+        add_standalone_columnar("standalone/columnar", join::PrepareOptions(),
+                                dfs::ScanOptions());
+        add_standalone_columnar("standalone/columnar_nozonemap",
+                                join::PrepareOptions(), no_zone_map);
+        add_standalone_columnar("standalone/columnar_prepared", prepare,
+                                dfs::ScanOptions());
+
+        auto add_ispmc_columnar = [&](const std::string& name,
+                                      const impala::QueryOptions&
+                                          query_options) {
+          join::IspMcSystem isp(&fs);
+          auto run =
+              isp.Join(*left_col, *right_col, c.predicate, query_options);
+          if (run.ok()) {
+            results.push_back(Ok(name, std::move(run->pairs)));
+          } else {
+            results.push_back(Failed(name, run.status()));
+          }
+        };
+        add_ispmc_columnar("ispmc/sql_columnar", impala::QueryOptions());
+        impala::QueryOptions columnar_cached;
+        columnar_cached.cache_parsed_geometries = true;
+        add_ispmc_columnar("ispmc/sql_columnar_cached", columnar_cached);
+      }
+    }
   }
 
   // -- Serving path: the same SQL through QueryService twice, so the warm

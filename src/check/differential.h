@@ -78,6 +78,14 @@ class DifferentialRunner {
     bool run_dfs_engines = true;
     /// Enables the QueryService cold+warm SQL arm.
     bool run_service = true;
+    /// Enables the columnar-format arms: the text tables are transcoded to
+    /// columnar blocks and the standalone + ISP-MC paths re-run over them
+    /// (zone-map on, zone-map off, prepared, cached-parse) — every arm
+    /// must match the text results byte for byte.
+    bool run_columnar = true;
+    /// Rows per columnar block in the transcode — deliberately tiny so
+    /// every case exercises multi-block files and zone-map pruning.
+    int64_t columnar_block_rows = 4;
     int spark_partitions = 3;
     int spark_tiles = 3;
   };

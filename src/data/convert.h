@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "dfs/columnar_block.h"
 #include "dfs/sim_file_system.h"
 #include "join/table_input.h"
 
@@ -20,6 +21,33 @@ namespace cloudjoin::data {
 Result<join::TableInput> ConvertGeometryColumnToWkbHex(
     dfs::SimFileSystem* fs, const join::TableInput& src,
     const std::string& dst_path);
+
+/// Accounting for one text → columnar transcode.
+struct ColumnarConvertStats {
+  /// Rows written to the columnar table.
+  int64_t rows = 0;
+  /// Source lines dropped: too few fields, unparseable id, or WKT the
+  /// scan kernel rejects.
+  int64_t dropped = 0;
+  /// Blocks in the output table.
+  int64_t blocks = 0;
+};
+
+/// Transcodes a delimited WKT text table into the columnar spatial block
+/// format (`dfs::columnar_block.h`): per block, contiguous id and
+/// envelope columns plus the WKT payload chunk, with an envelope
+/// zone-map in each block header. Row order is preserved, the stored WKT
+/// is the source field verbatim, and envelopes come from the same scan
+/// kernel the GEOS-role engines parse with — so a columnar scan emits
+/// byte-identical join results to a text scan of the same table.
+/// Malformed rows are dropped (counted in `stats->dropped`), mirroring
+/// the engines' parse-failure filtering. Returns the TableInput for the
+/// converted table (format = kColumnar).
+Result<join::TableInput> ConvertTextTableToColumnar(
+    dfs::SimFileSystem* fs, const join::TableInput& src,
+    const std::string& dst_path,
+    int64_t block_rows = dfs::kDefaultBlockRows,
+    ColumnarConvertStats* stats = nullptr);
 
 }  // namespace cloudjoin::data
 

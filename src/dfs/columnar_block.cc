@@ -1,0 +1,215 @@
+#include "dfs/columnar_block.h"
+
+#include <cstring>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace cloudjoin::dfs {
+
+namespace {
+
+constexpr int64_t kFileHeaderBytes = 4 + 4 + 8 + 8;
+constexpr int64_t kBlockHeaderBytes = 4 + 4 + 32;
+
+/// Native-endianness POD append/read. The DFS is in-process, so the file
+/// never crosses a byte-order boundary; the magic would catch a foreign
+/// layout anyway.
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::string_view data, int64_t offset) {
+  T value;
+  std::memcpy(&value, data.data() + offset, sizeof(T));
+  return value;
+}
+
+template <typename T>
+void ReadColumn(std::string_view data, int64_t offset, int64_t count,
+                std::vector<T>* out) {
+  out->resize(static_cast<size_t>(count));
+  std::memcpy(out->data(), data.data() + offset,
+              static_cast<size_t>(count) * sizeof(T));
+}
+
+}  // namespace
+
+ColumnarTableBuilder::ColumnarTableBuilder(int64_t block_rows)
+    : block_rows_(block_rows) {
+  CLOUDJOIN_CHECK(block_rows_ >= 1);
+}
+
+void ColumnarTableBuilder::Add(int64_t id, const geom::Envelope& envelope,
+                               std::string_view wkt) {
+  CLOUDJOIN_CHECK(wkt.size() <= std::numeric_limits<uint32_t>::max());
+  if (wkt_off_.empty()) wkt_off_.push_back(0);
+  ids_.push_back(id);
+  min_x_.push_back(envelope.min_x());
+  min_y_.push_back(envelope.min_y());
+  max_x_.push_back(envelope.max_x());
+  max_y_.push_back(envelope.max_y());
+  wkt_.append(wkt);
+  wkt_off_.push_back(static_cast<uint32_t>(wkt_.size()));
+  zone_.ExpandToInclude(envelope);
+  ++total_rows_;
+  if (static_cast<int64_t>(ids_.size()) >= block_rows_) FlushBlock(&body_);
+}
+
+void ColumnarTableBuilder::FlushBlock(std::string* out) {
+  if (ids_.empty()) return;
+  const uint32_t rows = static_cast<uint32_t>(ids_.size());
+  AppendPod<uint32_t>(out, rows);
+  AppendPod<uint32_t>(out, static_cast<uint32_t>(wkt_.size()));
+  AppendPod<double>(out, zone_.min_x());
+  AppendPod<double>(out, zone_.min_y());
+  AppendPod<double>(out, zone_.max_x());
+  AppendPod<double>(out, zone_.max_y());
+  auto append_column = [out](const auto& column) {
+    out->append(reinterpret_cast<const char*>(column.data()),
+                column.size() * sizeof(column[0]));
+  };
+  append_column(ids_);
+  append_column(min_x_);
+  append_column(min_y_);
+  append_column(max_x_);
+  append_column(max_y_);
+  append_column(wkt_off_);
+  out->append(wkt_);
+
+  ids_.clear();
+  min_x_.clear();
+  min_y_.clear();
+  max_x_.clear();
+  max_y_.clear();
+  wkt_off_.clear();
+  wkt_.clear();
+  zone_ = geom::Envelope();
+  ++num_blocks_;
+}
+
+std::string ColumnarTableBuilder::Finish() {
+  FlushBlock(&body_);
+  std::string out;
+  out.reserve(static_cast<size_t>(kFileHeaderBytes) + body_.size());
+  out.append(kColumnarMagic, sizeof(kColumnarMagic));
+  AppendPod<uint32_t>(&out, kColumnarVersion);
+  AppendPod<uint64_t>(&out, static_cast<uint64_t>(num_blocks_));
+  AppendPod<uint64_t>(&out, static_cast<uint64_t>(total_rows_));
+  out.append(body_);
+
+  body_.clear();
+  total_rows_ = 0;
+  num_blocks_ = 0;
+  return out;
+}
+
+Result<ColumnarTableReader> ColumnarTableReader::Open(const SimFile& file) {
+  std::string_view data = file.data();
+  const int64_t size = static_cast<int64_t>(data.size());
+  if (size < kFileHeaderBytes) {
+    return Status::ParseError("columnar table: file shorter than header");
+  }
+  if (std::memcmp(data.data(), kColumnarMagic, sizeof(kColumnarMagic)) != 0) {
+    return Status::ParseError("columnar table: bad magic");
+  }
+  const uint32_t version = ReadPod<uint32_t>(data, 4);
+  if (version != kColumnarVersion) {
+    return Status::ParseError("columnar table: unsupported version " +
+                              std::to_string(version));
+  }
+  const uint64_t num_blocks = ReadPod<uint64_t>(data, 8);
+  const uint64_t total_rows = ReadPod<uint64_t>(data, 16);
+
+  ColumnarTableReader reader;
+  reader.data_ = data;
+  reader.total_rows_ = static_cast<int64_t>(total_rows);
+  reader.blocks_.reserve(static_cast<size_t>(num_blocks));
+  int64_t offset = kFileHeaderBytes;
+  uint64_t rows_seen = 0;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    if (offset + kBlockHeaderBytes > size) {
+      return Status::ParseError("columnar table: truncated block header (block " +
+                                std::to_string(b) + " at offset " +
+                                std::to_string(offset) + ")");
+    }
+    BlockMeta meta;
+    meta.offset = offset;
+    meta.row_count = ReadPod<uint32_t>(data, offset);
+    meta.wkt_bytes = ReadPod<uint32_t>(data, offset + 4);
+    meta.zone = geom::Envelope(ReadPod<double>(data, offset + 8),
+                               ReadPod<double>(data, offset + 16),
+                               ReadPod<double>(data, offset + 24),
+                               ReadPod<double>(data, offset + 32));
+    // ids + 4 envelope columns + (N+1) offsets + payload.
+    const int64_t body_bytes =
+        meta.row_count * (8 + 4 * 8 + 4) + 4 + meta.wkt_bytes;
+    offset += kBlockHeaderBytes;
+    if (offset + body_bytes > size) {
+      return Status::ParseError(
+          "columnar table: truncated column chunks (block " +
+          std::to_string(b) + " needs " + std::to_string(body_bytes) +
+          " bytes at offset " + std::to_string(offset) + ")");
+    }
+    offset += body_bytes;
+    rows_seen += static_cast<uint64_t>(meta.row_count);
+    reader.blocks_.push_back(meta);
+  }
+  if (offset != size) {
+    return Status::ParseError("columnar table: " +
+                              std::to_string(size - offset) +
+                              " trailing bytes after last block");
+  }
+  if (rows_seen != total_rows) {
+    return Status::ParseError("columnar table: header claims " +
+                              std::to_string(total_rows) +
+                              " rows but blocks hold " +
+                              std::to_string(rows_seen));
+  }
+  return reader;
+}
+
+Result<ColumnarBlock> ColumnarTableReader::ReadBlock(int64_t b) const {
+  CLOUDJOIN_CHECK(b >= 0 && b < num_blocks());
+  const BlockMeta& meta = blocks_[static_cast<size_t>(b)];
+  const int64_t n = meta.row_count;
+  int64_t offset = meta.offset + kBlockHeaderBytes;
+
+  ColumnarBlock block;
+  ReadColumn(data_, offset, n, &block.ids);
+  offset += n * 8;
+  ReadColumn(data_, offset, n, &block.min_x);
+  offset += n * 8;
+  ReadColumn(data_, offset, n, &block.min_y);
+  offset += n * 8;
+  ReadColumn(data_, offset, n, &block.max_x);
+  offset += n * 8;
+  ReadColumn(data_, offset, n, &block.max_y);
+  offset += n * 8;
+  std::vector<uint32_t> wkt_off;
+  ReadColumn(data_, offset, n + 1, &wkt_off);
+  offset += (n + 1) * 4;
+
+  if (wkt_off.front() != 0 ||
+      wkt_off.back() != static_cast<uint32_t>(meta.wkt_bytes)) {
+    return Status::ParseError("columnar table: WKT offsets do not cover the "
+                              "payload (block " + std::to_string(b) + ")");
+  }
+  block.wkt.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const uint32_t begin = wkt_off[static_cast<size_t>(i)];
+    const uint32_t end = wkt_off[static_cast<size_t>(i) + 1];
+    if (end < begin) {
+      return Status::ParseError("columnar table: non-monotone WKT offsets "
+                                "(block " + std::to_string(b) + " row " +
+                                std::to_string(i) + ")");
+    }
+    block.wkt.push_back(
+        data_.substr(static_cast<size_t>(offset + begin), end - begin));
+  }
+  return block;
+}
+
+}  // namespace cloudjoin::dfs

@@ -1,0 +1,157 @@
+#ifndef CLOUDJOIN_DFS_COLUMNAR_BLOCK_H_
+#define CLOUDJOIN_DFS_COLUMNAR_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "dfs/sim_file_system.h"
+#include "geom/envelope.h"
+
+namespace cloudjoin::dfs {
+
+/// Tuning for a columnar table scan — the storage-side analogue of
+/// `index::ProbeOptions`: knobs trade constant factors only, results are
+/// identical for every combination.
+struct ScanOptions {
+  /// Test each block's envelope zone-map against the scan region and skip
+  /// whole blocks that cannot contain a match, before a single byte of a
+  /// column chunk is decoded. Off = decode every block (the ablation arm).
+  bool zone_map = true;
+
+  /// Canonical rendering for cache keys and report labels.
+  std::string Fingerprint() const {
+    return std::string("zonemap=") + (zone_map ? "1" : "0");
+  }
+};
+
+/// On-disk columnar spatial table (the MergeTree skip-index idiom scaled
+/// to this repo's DFS): rows are grouped into blocks of ~`block_rows`
+/// records, and each block stores its columns as contiguous chunks —
+///
+///   file   := FileHeader Block*
+///   header := magic "CJCB" | version u32 | num_blocks u64 | total_rows u64
+///   Block  := BlockHeader ids[i64 x N] min_x[f64 x N] min_y[f64 x N]
+///             max_x[f64 x N] max_y[f64 x N] wkt_off[u32 x N+1] wkt[bytes]
+///
+/// The BlockHeader carries a zone-map — the union envelope of every row in
+/// the block — so a scan whose search region is disjoint from the zone-map
+/// skips the block without decoding any column. The WKT payload is the
+/// last chunk and is addressed per row through `wkt_off`, so a reader
+/// materializes geometry text only for rows that survive the filter
+/// phase (lazy materialization).
+///
+/// Versioning rule: `kColumnarVersion` bumps on any layout change; readers
+/// reject files whose version they do not implement (no silent
+/// best-effort decoding of future layouts).
+inline constexpr char kColumnarMagic[4] = {'C', 'J', 'C', 'B'};
+inline constexpr uint32_t kColumnarVersion = 1;
+inline constexpr int64_t kDefaultBlockRows = 1024;
+
+/// Serializes (id, envelope, WKT) records into the columnar block format.
+/// Envelopes must be the ones the scan-side kernel would compute from the
+/// WKT (the converter guarantees this by parsing through the same entry
+/// point), or filter results would diverge from the text path.
+class ColumnarTableBuilder {
+ public:
+  explicit ColumnarTableBuilder(int64_t block_rows = kDefaultBlockRows);
+
+  /// Appends one row. Rows keep their Add order in the file (block
+  /// boundaries every `block_rows` rows), so a scan visits them exactly
+  /// as a text scan would visit lines.
+  void Add(int64_t id, const geom::Envelope& envelope, std::string_view wkt);
+
+  int64_t rows_added() const { return total_rows_; }
+
+  /// Serializes everything added so far and resets the builder. The
+  /// returned bytes are a complete file for `SimFileSystem::WriteFile`.
+  std::string Finish();
+
+ private:
+  void FlushBlock(std::string* out);
+
+  int64_t block_rows_;
+  int64_t total_rows_ = 0;
+  int64_t num_blocks_ = 0;
+  std::string body_;
+  // Pending (un-flushed) block columns.
+  std::vector<int64_t> ids_;
+  std::vector<double> min_x_, min_y_, max_x_, max_y_;
+  std::vector<uint32_t> wkt_off_;
+  std::string wkt_;
+  geom::Envelope zone_;
+};
+
+/// One decoded block. Fixed-width columns are copied out of the file blob
+/// (chunk offsets are not alignment-guaranteed); the WKT payload is
+/// addressed zero-copy — `wkt[i]` views into the file's bytes and stays
+/// valid while the backing `SimFile` lives.
+struct ColumnarBlock {
+  std::vector<int64_t> ids;
+  std::vector<double> min_x, min_y, max_x, max_y;
+  std::vector<std::string_view> wkt;
+
+  int64_t size() const { return static_cast<int64_t>(ids.size()); }
+
+  geom::Envelope RowEnvelope(int64_t i) const {
+    const size_t s = static_cast<size_t>(i);
+    return geom::Envelope(min_x[s], min_y[s], max_x[s], max_y[s]);
+  }
+};
+
+/// Validating reader over a columnar table file. `Open` walks every block
+/// header once (magic, version, chunk-size arithmetic against the file
+/// size) so zone-maps are available without touching column chunks;
+/// `ReadBlock` decodes one block's columns on demand.
+class ColumnarTableReader {
+ public:
+  /// Rejects short files, bad magic, unknown versions, and any block whose
+  /// declared chunk sizes run past the end of the file (truncation).
+  /// The reader borrows `file`'s bytes; `file` must outlive it.
+  static Result<ColumnarTableReader> Open(const SimFile& file);
+
+  int64_t num_blocks() const { return static_cast<int64_t>(blocks_.size()); }
+  int64_t total_rows() const { return total_rows_; }
+
+  /// Union envelope of every row in block `b` (empty if all rows are
+  /// EMPTY geometries — such a block intersects nothing).
+  const geom::Envelope& zone_map(int64_t b) const {
+    return blocks_[static_cast<size_t>(b)].zone;
+  }
+
+  int64_t block_rows(int64_t b) const {
+    return blocks_[static_cast<size_t>(b)].row_count;
+  }
+
+  /// Byte offset of block `b`'s header in the file — the coordinate a
+  /// DFS scan range uses to decide block ownership (a range owns every
+  /// columnar block whose header offset falls inside it, the analogue of
+  /// the line-ownership rule in `LineRecordReader`).
+  int64_t block_offset(int64_t b) const {
+    return blocks_[static_cast<size_t>(b)].offset;
+  }
+
+  /// Decodes block `b`'s columns. Fails (ParseError) if the WKT offset
+  /// column is not monotone or does not cover the payload exactly.
+  Result<ColumnarBlock> ReadBlock(int64_t b) const;
+
+ private:
+  struct BlockMeta {
+    int64_t offset = 0;  // of the block header
+    int64_t row_count = 0;
+    int64_t wkt_bytes = 0;
+    geom::Envelope zone;
+  };
+
+  ColumnarTableReader() = default;
+
+  std::string_view data_;
+  int64_t total_rows_ = 0;
+  std::vector<BlockMeta> blocks_;
+};
+
+}  // namespace cloudjoin::dfs
+
+#endif  // CLOUDJOIN_DFS_COLUMNAR_BLOCK_H_

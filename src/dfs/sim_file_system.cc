@@ -127,6 +127,8 @@ bool LineRecordReader::Next(std::string_view* line) {
                                      : static_cast<int64_t>(nl);
   *line = data_.substr(static_cast<size_t>(pos_),
                        static_cast<size_t>(line_end - pos_));
+  record_offset_ = pos_;
+  ++line_number_;
   pos_ = line_end + 1;
   return true;
 }

@@ -103,11 +103,23 @@ class LineRecordReader {
   /// Bytes consumed so far (relative to the original offset).
   int64_t bytes_read() const { return pos_ - start_; }
 
+  /// 1-based ordinal of the line most recently returned by Next() within
+  /// this split (0 before the first Next). Callers rejecting a record
+  /// report this together with record_offset() so a corrupt line can be
+  /// located in the file instead of only being counted.
+  int64_t line_number() const { return line_number_; }
+
+  /// Absolute byte offset (in the whole file, not the split) of the start
+  /// of the line most recently returned by Next().
+  int64_t record_offset() const { return record_offset_; }
+
  private:
   std::string_view data_;
   int64_t start_;
   int64_t end_;
   int64_t pos_;
+  int64_t line_number_ = 0;
+  int64_t record_offset_ = 0;
 };
 
 }  // namespace cloudjoin::dfs

@@ -37,6 +37,16 @@ inline constexpr char kRefineParseError[] = "join.refine_parse_error";
 /// Serving layer: a retained right-side build was reused.
 inline constexpr char kIndexCacheHit[] = "join.index_cache_hit";
 
+/// Columnar scan accounting (text scans have no block structure and do
+/// not emit these): blocks whose zone-map was tested, blocks skipped
+/// entirely by the zone-map, rows whose envelopes entered the filter
+/// phase, and rows whose WKT payload was actually materialized (parsed)
+/// because at least one filter candidate survived.
+inline constexpr char kScanBlocksTotal[] = "scan.blocks_total";
+inline constexpr char kScanBlocksPruned[] = "scan.blocks_pruned";
+inline constexpr char kScanRowsScanned[] = "scan.rows_scanned";
+inline constexpr char kScanRowsMaterialized[] = "scan.rows_materialized";
+
 }  // namespace cloudjoin::exec::counter
 
 #endif  // CLOUDJOIN_EXEC_COUNTER_NAMES_H_

@@ -8,8 +8,13 @@
 #include <vector>
 
 #include "common/counters.h"
+#include "common/result.h"
+#include "common/stopwatch.h"
+#include "dfs/columnar_block.h"
 #include "dfs/sim_file_system.h"
 #include "exec/built_right.h"
+#include "exec/counter_names.h"
+#include "exec/geo_parse.h"
 #include "exec/id_geometry.h"
 #include "exec/probe_stats.h"
 #include "exec/refiner.h"
@@ -58,6 +63,53 @@ class ProbeScanner {
   Counters* counters_;
 };
 
+/// Columnar left-scan accounting, accumulated locally and flushed to a
+/// `Counters` once per scan (same pattern as ProbeStats).
+struct ColumnarScanStats {
+  /// Blocks whose zone-map was consulted.
+  int64_t blocks_total = 0;
+  /// Blocks skipped entirely: zone-map disjoint from the scan region, no
+  /// column chunk decoded.
+  int64_t blocks_pruned = 0;
+  /// Rows whose stored envelopes entered the filter phase.
+  int64_t rows_scanned = 0;
+  /// Rows whose WKT payload was parsed because a filter candidate
+  /// survived (the lazy-materialization hit count).
+  int64_t rows_materialized = 0;
+
+  void MergeFrom(const ColumnarScanStats& other) {
+    blocks_total += other.blocks_total;
+    blocks_pruned += other.blocks_pruned;
+    rows_scanned += other.rows_scanned;
+    rows_materialized += other.rows_materialized;
+  }
+
+  /// Adds the non-zero fields to `counters` under the scan.* names
+  /// (no-op on nullptr).
+  void FlushTo(Counters* counters) const;
+};
+
+/// The columnar left-scan + probe driver: streams one columnar table
+/// through the shared two-phase filter using the *stored* envelope
+/// columns, pruning whole blocks whose zone-map misses the right side's
+/// overall MBR (when `scan_options.zone_map` is on), and parsing a row's
+/// WKT only when its first filter candidate arrives. Emits exactly the
+/// pairs — in exactly the order — that the text scan path
+/// (ProbeScanner::ScanBlock + RunGeosProbes over the same rows) emits.
+///
+/// `on_block(block_index, seconds)` (optional, pass nullptr-like no-op)
+/// receives per-columnar-block wall timing so engines can keep their
+/// per-task duration accounting.
+template <typename Emit, typename OnBlock>
+Status RunColumnarGeosProbes(const dfs::ColumnarTableReader& reader,
+                             const BuiltRight& right,
+                             const SpatialPredicate& predicate,
+                             const index::ProbeOptions& probe_options,
+                             const dfs::ScanOptions& scan_options,
+                             Counters* counters, Emit&& emit,
+                             ProbeStats* stats, ColumnarScanStats* scan_stats,
+                             OnBlock&& on_block);
+
 /// Runs one parsed probe batch through the shared two-phase driver
 /// (columnar filter via index::RunBatchedProbes, then GeosRefiner), calling
 /// `emit(IdPair)` for every match in probe order. `stats` must be non-null.
@@ -85,6 +137,80 @@ void RunGeosProbes(const GeosProbeBatch& probes, const BuiltRight& right,
       },
       &filter_stats);
   stats->AddFilter(filter_stats);
+}
+
+template <typename Emit, typename OnBlock>
+Status RunColumnarGeosProbes(const dfs::ColumnarTableReader& reader,
+                             const BuiltRight& right,
+                             const SpatialPredicate& predicate,
+                             const index::ProbeOptions& probe_options,
+                             const dfs::ScanOptions& scan_options,
+                             Counters* counters, Emit&& emit,
+                             ProbeStats* stats,
+                             ColumnarScanStats* scan_stats,
+                             OnBlock&& on_block) {
+  const GeosRefiner refiner(&right, &predicate);
+  // The scan region: everything the right index can possibly match. Tree
+  // entries are already expanded by the predicate's filter radius, so a
+  // block whose zone-map misses `region` cannot contribute a candidate.
+  const geom::Envelope& region = right.tree->bounds();
+
+  // Per-block lazy-materialization scratch, reused across blocks.
+  std::vector<std::unique_ptr<geosim::Geometry>> geoms;
+  std::vector<std::string> wkt;
+  std::vector<char> attempted;
+
+  for (int64_t b = 0; b < reader.num_blocks(); ++b) {
+    Stopwatch block_watch;
+    ++scan_stats->blocks_total;
+    if (scan_options.zone_map && !reader.zone_map(b).Intersects(region)) {
+      // Zone-map prune: not a single byte of this block's column chunks
+      // is decoded, let alone its WKT payload parsed.
+      ++scan_stats->blocks_pruned;
+      on_block(b, block_watch.ElapsedSeconds());
+      continue;
+    }
+    CLOUDJOIN_ASSIGN_OR_RETURN(dfs::ColumnarBlock block, reader.ReadBlock(b));
+    const int64_t n = block.size();
+    scan_stats->rows_scanned += n;
+    geoms.clear();
+    geoms.resize(static_cast<size_t>(n));
+    wkt.assign(static_cast<size_t>(n), std::string());
+    attempted.assign(static_cast<size_t>(n), 0);
+
+    index::BatchStats filter_stats;
+    index::RunBatchedProbes(
+        n, *right.tree, right.packed.get(), probe_options,
+        [&](int64_t i) { return block.RowEnvelope(i); },
+        [&](int64_t i, int64_t slot) {
+          const size_t s = static_cast<size_t>(i);
+          if (!attempted[s]) {
+            // First surviving candidate of this row: materialize the WKT
+            // column now (the text path parsed it before the filter ever
+            // ran; rows with zero candidates never reach this point).
+            attempted[s] = 1;
+            auto parsed = ParseGeosWkt(block.wkt[s]);
+            if (parsed.ok()) {
+              geoms[s] = std::move(parsed).value();
+              wkt[s] = std::string(block.wkt[s]);
+              ++scan_stats->rows_materialized;
+            } else if (counters != nullptr) {
+              counters->Add(counter::kLeftBadGeom, 1);
+            }
+          }
+          if (geoms[s] == nullptr) return;
+          ++stats->candidates;
+          if (refiner.Refine(*geoms[s], wkt[s], static_cast<size_t>(slot),
+                             &stats->refine)) {
+            ++stats->matches;
+            emit(IdPair(block.ids[s], right.ids[static_cast<size_t>(slot)]));
+          }
+        },
+        &filter_stats);
+    stats->AddFilter(filter_stats);
+    on_block(b, block_watch.ElapsedSeconds());
+  }
+  return Status::OK();
 }
 
 }  // namespace cloudjoin::exec

@@ -3,9 +3,11 @@
 #include <string>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "dfs/columnar_block.h"
 #include "exec/counter_names.h"
 #include "exec/geo_parse.h"
 #include "geom/wkt.h"
@@ -37,6 +39,19 @@ std::unique_ptr<geom::PreparedPolygon> PrepareFromWkt(
   }
   auto flat = geom::ReadWkt(wkt);
   if (!flat.ok()) return nullptr;
+  return std::make_unique<geom::PreparedPolygon>(std::move(flat).value(),
+                                                 prepare.grid_side);
+}
+
+/// The preparability rule when only the WKT is at hand (columnar builds,
+/// which never run the GEOS-role scan parse): one flat-kernel parse
+/// decides type and vertex count and doubles as the grid source.
+std::unique_ptr<geom::PreparedPolygon> PrepareFromWktFlat(
+    std::string_view wkt, const PrepareOptions& prepare) {
+  auto flat = geom::ReadWkt(wkt);
+  if (!flat.ok() || !IsPreparableGeom(*flat, prepare.min_vertices)) {
+    return nullptr;
+  }
   return std::make_unique<geom::PreparedPolygon>(std::move(flat).value(),
                                                  prepare.grid_side);
 }
@@ -77,6 +92,18 @@ void RightIndexBuilder::AddGeosRecord(int64_t id, std::string_view wkt,
   built_.wkt.emplace_back(wkt);
   if (prepare_.enabled) {
     built_.prepared.push_back(PrepareFromWkt(wkt, parsed, prepare_));
+  }
+}
+
+void RightIndexBuilder::AddEnvelopeRecord(int64_t id, std::string_view wkt,
+                                          geom::Envelope envelope) {
+  envelope.ExpandBy(radius_);
+  entries_.push_back(index::StrTree::Entry{
+      envelope, static_cast<int64_t>(built_.ids.size())});
+  built_.ids.push_back(id);
+  built_.wkt.emplace_back(wkt);
+  if (prepare_.enabled) {
+    built_.prepared.push_back(PrepareFromWktFlat(wkt, prepare_));
   }
 }
 
@@ -126,6 +153,26 @@ Result<BuiltRight> BuildRightFromTable(const dfs::SimFile& file,
                                        Counters* counters) {
   CpuTimer build_watch;
   RightIndexBuilder builder(radius, prepare);
+
+  if (input.format == TableFormat::kColumnar) {
+    // Columnar build: envelopes stream straight from the stored columns
+    // into the tree entries — no per-row WKT parse on this path.
+    CLOUDJOIN_ASSIGN_OR_RETURN(dfs::ColumnarTableReader reader,
+                               dfs::ColumnarTableReader::Open(file));
+    for (int64_t b = 0; b < reader.num_blocks(); ++b) {
+      CLOUDJOIN_ASSIGN_OR_RETURN(dfs::ColumnarBlock block,
+                                 reader.ReadBlock(b));
+      for (int64_t i = 0; i < block.size(); ++i) {
+        builder.AddEnvelopeRecord(block.ids[static_cast<size_t>(i)],
+                                  block.wkt[static_cast<size_t>(i)],
+                                  block.RowEnvelope(i));
+      }
+    }
+    BuiltRight built = builder.Finish(counters);
+    built.build_seconds = build_watch.ElapsedSeconds();
+    return built;
+  }
+
   dfs::LineRecordReader lines(file.data(), 0, file.size());
   std::string_view line;
   while (lines.Next(&line)) {
@@ -133,11 +180,18 @@ Result<BuiltRight> BuildRightFromTable(const dfs::SimFile& file,
     if (static_cast<int>(fields.size()) <= input.geometry_column ||
         static_cast<int>(fields.size()) <= input.id_column) {
       if (counters != nullptr) counters->Add(counter::kRightMalformed, 1);
+      CLOUDJOIN_LOG(Warning) << "malformed right row: " << input.path
+                             << " line " << lines.line_number() << " offset "
+                             << lines.record_offset() << " ("
+                             << fields.size() << " fields)";
       continue;
     }
     auto id = ParseInt64(fields[input.id_column]);
     if (!id.ok()) {
       if (counters != nullptr) counters->Add(counter::kRightMalformed, 1);
+      CLOUDJOIN_LOG(Warning) << "unparseable right id: " << input.path
+                             << " line " << lines.line_number() << " offset "
+                             << lines.record_offset();
       continue;
     }
     auto parsed = ParseGeosWkt(fields[input.geometry_column]);

@@ -42,6 +42,15 @@ class RightIndexBuilder {
   void AddGeosRecord(int64_t id, std::string_view wkt,
                      const geosim::Geometry& parsed);
 
+  /// GEOS-kernel record from columnar storage: the envelope comes from
+  /// the stored envelope column, so no geometry parse happens on this
+  /// path at all (unless preparation is enabled, which parses the WKT
+  /// once to build the grid — exactly what the text path pays too).
+  /// `envelope` must be the raw (un-expanded) envelope the scan kernel
+  /// would compute from `wkt`.
+  void AddEnvelopeRecord(int64_t id, std::string_view wkt,
+                         geom::Envelope envelope);
+
   /// Records added so far (== the slot the next Add receives).
   int64_t size() const { return built_.size(); }
 

@@ -15,6 +15,18 @@ enum class GeometryEncoding {
   kWkbHex,
 };
 
+/// Physical layout of the table file in the DFS.
+enum class TableFormat {
+  /// Newline-delimited text rows (the paper's storage throughout).
+  kText,
+  /// Columnar spatial blocks (`dfs::ColumnarTableReader`): ids, envelopes
+  /// and WKT payload in separate per-block column chunks, with an
+  /// envelope zone-map per block. Produced by `data::
+  /// ConvertTextTableToColumnar`; scans prune blocks by zone-map and
+  /// materialize WKT lazily.
+  kColumnar,
+};
+
 /// Description of one join input stored as delimited text in the DFS —
 /// the same information SpatialSpark takes as command-line arguments and
 /// ISP-MC reads from its metastore.
@@ -27,6 +39,9 @@ struct TableInput {
   /// 0-based column holding the geometry.
   int geometry_column = 1;
   GeometryEncoding encoding = GeometryEncoding::kWkt;
+  /// Columnar tables ignore separator/column positions: block columns are
+  /// fixed at (id, geometry-WKT).
+  TableFormat format = TableFormat::kText;
 };
 
 }  // namespace cloudjoin::exec

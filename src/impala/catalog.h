@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/table_input.h"
 #include "impala/types.h"
 
 namespace cloudjoin::impala {
@@ -16,13 +17,17 @@ struct ColumnDef {
   ColumnType type = ColumnType::kString;
 };
 
-/// A table backed by a delimited text file in the simulated DFS (the Hive
-/// metastore role: schema plus storage location).
+/// A table backed by a file in the simulated DFS (the Hive metastore
+/// role: schema plus storage location and physical format).
 struct TableDef {
   std::string name;
   std::vector<ColumnDef> columns;
   std::string dfs_path;
   char separator = '\t';
+  /// Physical layout of the backing file. Columnar tables have the fixed
+  /// schema (BIGINT id, STRING geometry-WKT); scans over them prune
+  /// blocks by envelope zone-map and skip the per-row text split.
+  exec::TableFormat format = exec::TableFormat::kText;
 
   /// Index of column `column_name`, or -1.
   int ColumnIndex(const std::string& column_name) const;

@@ -37,16 +37,36 @@ HdfsScanNode::HdfsScanNode(const TableDef* table, const dfs::SimFile* file,
                            int64_t offset, int64_t length,
                            const std::vector<std::unique_ptr<Expr>>* filters,
                            const std::vector<bool>* needed_slots,
-                           Counters* counters)
+                           Counters* counters,
+                           const geom::Envelope* scan_region,
+                           const dfs::ScanOptions& scan_options)
     : table_(table),
       file_(file),
       offset_(offset),
       length_(length),
       filters_(filters),
       needed_slots_(needed_slots),
-      counters_(counters) {}
+      counters_(counters),
+      scan_region_(scan_region),
+      scan_options_(scan_options) {}
 
 Status HdfsScanNode::Open() {
+  if (table_->format == core::TableFormat::kColumnar) {
+    if (table_->columns.size() != 2 ||
+        table_->columns[0].type != ColumnType::kInt64 ||
+        table_->columns[1].type != ColumnType::kString) {
+      return Status::InvalidArgument(
+          "columnar table must have schema (BIGINT, STRING): " +
+          table_->name);
+    }
+    CLOUDJOIN_ASSIGN_OR_RETURN(dfs::ColumnarTableReader reader,
+                               dfs::ColumnarTableReader::Open(*file_));
+    col_reader_ =
+        std::make_unique<dfs::ColumnarTableReader>(std::move(reader));
+    col_next_block_ = 0;
+    col_block_loaded_ = false;
+    return Status::OK();
+  }
   reader_ = std::make_unique<dfs::LineRecordReader>(file_->data(), offset_,
                                                     length_);
   return Status::OK();
@@ -88,7 +108,71 @@ bool HdfsScanNode::ParseLine(std::string_view line, Row* row) const {
   return true;
 }
 
+Status HdfsScanNode::ColumnarGetNext(RowBatch* batch, bool* eos) {
+  batch->Clear();
+  const bool need_id = needed_slots_ == nullptr || (*needed_slots_)[0];
+  const bool need_wkt = needed_slots_ == nullptr || (*needed_slots_)[1];
+  Row row;
+  while (!batch->IsFull()) {
+    if (!col_block_loaded_) {
+      // Advance to the next block this range owns (header offset inside
+      // [offset_, offset_+length_)) whose zone-map survives pruning.
+      while (!col_block_loaded_ &&
+             col_next_block_ < col_reader_->num_blocks()) {
+        const int64_t b = col_next_block_++;
+        const int64_t header = col_reader_->block_offset(b);
+        if (header < offset_ || header >= offset_ + length_) continue;
+        counters_->Add(core::counter::kScanBlocksTotal, 1);
+        if (scan_region_ != nullptr && scan_options_.zone_map &&
+            !col_reader_->zone_map(b).Intersects(*scan_region_)) {
+          counters_->Add(core::counter::kScanBlocksPruned, 1);
+          continue;
+        }
+        CLOUDJOIN_ASSIGN_OR_RETURN(col_block_, col_reader_->ReadBlock(b));
+        col_row_ = 0;
+        col_block_loaded_ = true;
+      }
+      if (!col_block_loaded_) {
+        *eos = true;
+        return Status::OK();
+      }
+    }
+    while (!batch->IsFull() && col_row_ < col_block_.size()) {
+      const size_t r = static_cast<size_t>(col_row_++);
+      counters_->Add(core::counter::kScanRowsScanned, 1);
+      row.clear();
+      row.reserve(2);
+      // Projection pushdown as in the text scan: unreferenced columns
+      // stay NULL. A needed WKT column is a payload materialization.
+      if (need_id) {
+        row.emplace_back(col_block_.ids[r]);
+      } else {
+        row.emplace_back();
+      }
+      if (need_wkt) {
+        row.emplace_back(std::string(col_block_.wkt[r]));
+        counters_->Add(core::counter::kScanRowsMaterialized, 1);
+      } else {
+        row.emplace_back();
+      }
+      bool keep = true;
+      for (const auto& filter : *filters_) {
+        if (!filter->EvaluatesTrue(&row, nullptr)) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) batch->Add(std::move(row));
+      row = Row();
+    }
+    if (col_row_ >= col_block_.size()) col_block_loaded_ = false;
+  }
+  *eos = false;
+  return Status::OK();
+}
+
 Status HdfsScanNode::GetNext(RowBatch* batch, bool* eos) {
+  if (col_reader_ != nullptr) return ColumnarGetNext(batch, eos);
   batch->Clear();
   std::string_view line;
   Row row;
@@ -128,6 +212,62 @@ Result<std::unique_ptr<BroadcastRight>> BuildBroadcastRight(
   core::PrepareOptions prepare;
   prepare.enabled = prepare_geometries;
   core::RightIndexBuilder builder(radius, prepare);
+
+  if (table->format == core::TableFormat::kColumnar && geom_slot >= 0) {
+    // Columnar right side: stored envelopes stream straight into the
+    // builder — no WKT parse at all on the default path (the parse only
+    // returns when the cached-parse ablation explicitly asks for the
+    // geometries). The geometry column of a columnar table is slot 1.
+    if (geom_slot != 1) {
+      return Status::InvalidArgument(
+          "columnar table geometry must be column 1: " + table->name);
+    }
+    CLOUDJOIN_ASSIGN_OR_RETURN(dfs::ColumnarTableReader reader,
+                               dfs::ColumnarTableReader::Open(*file));
+    const bool need_id = needed_slots == nullptr || (*needed_slots)[0];
+    Row row;
+    for (int64_t b = 0; b < reader.num_blocks(); ++b) {
+      CLOUDJOIN_ASSIGN_OR_RETURN(dfs::ColumnarBlock block,
+                                 reader.ReadBlock(b));
+      for (int64_t i = 0; i < block.size(); ++i) {
+        const size_t r = static_cast<size_t>(i);
+        row.clear();
+        row.reserve(2);
+        if (need_id) {
+          row.emplace_back(block.ids[r]);
+        } else {
+          row.emplace_back();
+        }
+        row.emplace_back(std::string(block.wkt[r]));
+        bool keep = true;
+        for (const auto& filter : *filters) {
+          if (!filter->EvaluatesTrue(&row, nullptr)) {
+            keep = false;
+            break;
+          }
+        }
+        if (!keep) continue;
+        if (cache_parsed) {
+          auto parsed = core::ParseGeosWkt(block.wkt[r]);
+          if (!parsed.ok()) {
+            counters->Add(core::counter::kRightBadGeom, 1);
+            continue;
+          }
+          right->parsed.push_back(std::move(parsed).value());
+        }
+        builder.AddEnvelopeRecord(static_cast<int64_t>(right->rows.size()),
+                                  block.wkt[r], block.RowEnvelope(i));
+        right->bytes += RowBytes(row);
+        right->rows.push_back(std::move(row));
+        row = Row();
+      }
+    }
+    static_cast<core::BuiltRight&>(*right) = builder.Finish(counters);
+    right->bytes +=
+        right->tree->MemoryBytes() + right->packed->MemoryBytes();
+    right->build_seconds = watch.ElapsedSeconds();
+    return right;
+  }
 
   HdfsScanNode scan(table, file, 0, file->size(), filters, needed_slots,
                     counters);

@@ -7,6 +7,7 @@
 
 #include "common/counters.h"
 #include "common/result.h"
+#include "dfs/columnar_block.h"
 #include "dfs/sim_file_system.h"
 #include "exec/built_right.h"
 #include "geosim/geometry.h"
@@ -29,20 +30,29 @@ class ExecNode {
   virtual void Close() {}
 };
 
-/// Scans one scan range (block-aligned byte range) of a delimited text
-/// table, producing typed rows; pushed-down conjuncts filter inline.
-/// Malformed lines are counted and dropped (matching the parse-failure
-/// filtering in the paper's SpatialSpark listing).
+/// Scans one scan range (block-aligned byte range) of a table, producing
+/// typed rows; pushed-down conjuncts filter inline. Text tables are read
+/// line-by-line with malformed lines counted and dropped (matching the
+/// parse-failure filtering in the paper's SpatialSpark listing).
+/// Columnar tables are read block-by-block: the range owns every
+/// columnar block whose header offset falls inside it, and when
+/// `scan_region` is set a block whose envelope zone-map misses the
+/// region is skipped whole (gated by `scan_options.zone_map`).
 class HdfsScanNode final : public ExecNode {
  public:
-  /// `table`, `file`, `filters`, `needed_slots`, and `counters` must
-  /// outlive the node. `needed_slots` (nullable = all) marks the columns
-  /// the query references; unreferenced columns are not materialized
-  /// (Impala's projection pushdown).
+  /// `table`, `file`, `filters`, `needed_slots`, `counters`, and
+  /// `scan_region` must outlive the node. `needed_slots` (nullable = all)
+  /// marks the columns the query references; unreferenced columns are not
+  /// materialized (Impala's projection pushdown). `scan_region`
+  /// (nullable = no pruning) bounds everything downstream can match —
+  /// only safe to set when dropped rows cannot affect the result (inner
+  /// spatial join against an index covering `scan_region`).
   HdfsScanNode(const TableDef* table, const dfs::SimFile* file,
                int64_t offset, int64_t length,
                const std::vector<std::unique_ptr<Expr>>* filters,
-               const std::vector<bool>* needed_slots, Counters* counters);
+               const std::vector<bool>* needed_slots, Counters* counters,
+               const geom::Envelope* scan_region = nullptr,
+               const dfs::ScanOptions& scan_options = dfs::ScanOptions());
 
   Status Open() override;
   Status GetNext(RowBatch* batch, bool* eos) override;
@@ -51,6 +61,9 @@ class HdfsScanNode final : public ExecNode {
   /// Parses one text line into `row`; false on malformed input.
   bool ParseLine(std::string_view line, Row* row) const;
 
+  /// GetNext over a columnar-format table.
+  Status ColumnarGetNext(RowBatch* batch, bool* eos);
+
   const TableDef* table_;
   const dfs::SimFile* file_;
   int64_t offset_;
@@ -58,7 +71,16 @@ class HdfsScanNode final : public ExecNode {
   const std::vector<std::unique_ptr<Expr>>* filters_;
   const std::vector<bool>* needed_slots_;
   Counters* counters_;
+  const geom::Envelope* scan_region_;
+  dfs::ScanOptions scan_options_;
   std::unique_ptr<dfs::LineRecordReader> reader_;
+  // Columnar-scan state: the open reader, the decoded current block, and
+  // the cursor (next block to consider / next row in the current block).
+  std::unique_ptr<dfs::ColumnarTableReader> col_reader_;
+  dfs::ColumnarBlock col_block_;
+  int64_t col_next_block_ = 0;
+  int64_t col_row_ = 0;
+  bool col_block_loaded_ = false;
 };
 
 /// The broadcast right side of a join, shared (read-only) by all fragment

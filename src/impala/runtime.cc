@@ -98,6 +98,7 @@ std::string BroadcastFingerprint::Key() const {
   key += "|need=" + needed_slots;
   if (cache_parsed) key += "|parsed";
   if (prepare_geometries) key += "|prepgrid";
+  if (!format.empty()) key += "|fmt=" + format;
   if (!probe.empty()) key += "|probe=" + probe;
   // Free-form text goes last so the fixed fields parse unambiguously.
   key += "|filters=" + right_filters;
@@ -230,6 +231,9 @@ Result<QueryResult> ImpalaRuntime::Execute(const std::string& sql,
       fingerprint.radius = radius;
       fingerprint.cache_parsed = options.cache_parsed_geometries;
       fingerprint.prepare_geometries = options.prepare_geometries;
+      if (query->right_table->format == exec::TableFormat::kColumnar) {
+        fingerprint.format = "columnar";
+      }
       fingerprint.probe = options.probe.Fingerprint();
       CLOUDJOIN_ASSIGN_OR_RETURN(
           right, options.broadcast_provider->GetOrBuild(fingerprint, build,
@@ -252,11 +256,21 @@ Result<QueryResult> ImpalaRuntime::Execute(const std::string& sql,
   // ---- Backend: one fragment instance per left scan range. ----
   CLOUDJOIN_ASSIGN_OR_RETURN(const dfs::SimFile* left_file,
                              fs_->GetFile(query->left_table->dfs_path));
+  // Columnar left side of a spatial join: the scan node prunes whole
+  // blocks whose zone-map misses the broadcast side's overall MBR (tree
+  // entries are already radius-expanded, so a pruned block cannot hold a
+  // candidate; a spatial join is inner, so it cannot affect the output).
+  const geom::Envelope* scan_region = nullptr;
+  if (query->join_kind == JoinKind::kSpatial && right != nullptr &&
+      query->left_table->format == exec::TableFormat::kColumnar) {
+    scan_region = &right->tree->bounds();
+  }
   for (const dfs::BlockInfo& block : left_file->blocks()) {
     CpuTimer range_watch;
     auto scan = std::make_unique<HdfsScanNode>(
         query->left_table, left_file, block.offset, block.length,
-        &query->left_filters, &left_needed, &result.metrics.counters);
+        &query->left_filters, &left_needed, &result.metrics.counters,
+        scan_region, options.scan);
     std::unique_ptr<ExecNode> tree;
     if (query->join_kind == JoinKind::kSpatial) {
       tree = std::make_unique<SpatialJoinNode>(

@@ -8,6 +8,7 @@
 
 #include "common/counters.h"
 #include "common/result.h"
+#include "dfs/columnar_block.h"
 #include "dfs/sim_file_system.h"
 #include "impala/catalog.h"
 #include "impala/types.h"
@@ -40,6 +41,10 @@ struct BroadcastFingerprint {
   double radius = 0.0;
   bool cache_parsed = false;
   bool prepare_geometries = false;
+  /// Physical format of the backing file ("columnar", empty for text):
+  /// the two formats build through different scan paths, so a table
+  /// re-registered under a new format must never reuse the old build.
+  std::string format;
   /// Probe-side tuning (`index::ProbeOptions::Fingerprint()`), keyed so a
   /// cached index is never handed to a query running an incompatible probe
   /// configuration (e.g. an A/B sweep comparing packed vs pointer walks
@@ -93,6 +98,10 @@ struct QueryOptions {
   /// size, Hilbert ordering, packed-tree kernel). Defaults on; results are
   /// byte-identical for every combination.
   index::ProbeOptions probe;
+  /// Columnar-format left-scan tuning (envelope zone-map pruning —
+  /// defaults on). Ignored for text-format tables; results are
+  /// byte-identical either way.
+  dfs::ScanOptions scan;
 };
 
 /// Measured timing of one left-table scan range (≈ one plan-fragment

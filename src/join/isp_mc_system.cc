@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/strings.h"
+#include "dfs/columnar_block.h"
 
 namespace cloudjoin::join {
 
@@ -46,6 +47,22 @@ Result<const impala::TableDef*> IspMcSystem::RegisterTable(
     const std::string& name, const TableInput& input) {
   CLOUDJOIN_ASSIGN_OR_RETURN(const dfs::SimFile* file,
                              fs_->GetFile(input.path));
+  if (input.format == TableFormat::kColumnar) {
+    // Columnar tables carry the fixed (id BIGINT, geom STRING) schema;
+    // validating the file header here surfaces corrupt/mis-registered
+    // tables at metastore time rather than mid-query.
+    CLOUDJOIN_RETURN_IF_ERROR(dfs::ColumnarTableReader::Open(*file).status());
+    impala::TableDef table;
+    table.name = name;
+    table.dfs_path = input.path;
+    table.format = exec::TableFormat::kColumnar;
+    table.columns.push_back(
+        impala::ColumnDef{"id", impala::ColumnType::kInt64});
+    table.columns.push_back(
+        impala::ColumnDef{"geom", impala::ColumnType::kString});
+    CLOUDJOIN_RETURN_IF_ERROR(runtime_.catalog()->RegisterTable(table));
+    return runtime_.catalog()->GetTable(name);
+  }
   int num_columns = CountColumns(file, input.separator);
   if (num_columns <= input.id_column ||
       num_columns <= input.geometry_column) {

@@ -34,7 +34,7 @@ Result<StandaloneRun> StandaloneMc::Join(
     const TableInput& left, const TableInput& right,
     const SpatialPredicate& predicate, const PrepareOptions& prepare,
     std::shared_ptr<const StandaloneRight> prebuilt,
-    const ProbeOptions& probe) {
+    const ProbeOptions& probe, const dfs::ScanOptions& scan) {
   CLOUDJOIN_ASSIGN_OR_RETURN(const dfs::SimFile* left_file,
                              fs_->GetFile(left.path));
   StandaloneRun run;
@@ -49,6 +49,26 @@ Result<StandaloneRun> StandaloneMc::Join(
   } else {
     run.build_seconds = 0.0;
     run.counters.Add(exec::counter::kIndexCacheHit, 1);
+  }
+
+  if (left.format == TableFormat::kColumnar) {
+    // ---- Columnar probe phase: one task per columnar block. Stored
+    // envelope columns feed the filter directly; a block whose zone-map
+    // misses the right side's MBR is skipped whole, and WKT is parsed
+    // only for rows the filter lets through. ----
+    CLOUDJOIN_ASSIGN_OR_RETURN(dfs::ColumnarTableReader reader,
+                               dfs::ColumnarTableReader::Open(*left_file));
+    exec::ProbeStats stats;
+    exec::ColumnarScanStats scan_stats;
+    CLOUDJOIN_RETURN_IF_ERROR(exec::RunColumnarGeosProbes(
+        reader, *side, predicate, probe, scan, &run.counters,
+        [&run](const IdPair& pair) { run.pairs.push_back(pair); }, &stats,
+        &scan_stats, [&run](int64_t /*block*/, double seconds) {
+          run.block_seconds.push_back(seconds);
+        }));
+    stats.FlushTo(&run.counters);
+    scan_stats.FlushTo(&run.counters);
+    return run;
   }
 
   // ---- Probe phase: one task per left block, each block a row batch.

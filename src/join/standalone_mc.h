@@ -7,6 +7,7 @@
 
 #include "common/counters.h"
 #include "common/result.h"
+#include "dfs/columnar_block.h"
 #include "dfs/sim_file_system.h"
 #include "exec/built_right.h"
 #include "join/broadcast_spatial_join.h"
@@ -61,14 +62,18 @@ class StandaloneMc {
   /// `prebuilt` (optional) injects a prior `BuildRight` artifact for the
   /// same (right, predicate, prepare) triple: the build phase is skipped,
   /// `run.build_seconds` reports 0, and a `join.index_cache_hit` counter
-  /// is recorded. `probe` tunes the columnar probe phase. Results are
+  /// is recorded. `probe` tunes the columnar probe phase. When `left` is
+  /// a columnar table, `scan` tunes the block scan (zone-map pruning —
+  /// defaults on); the scan path prunes blocks against the built right
+  /// side's overall MBR and materializes WKT lazily, and results stay
   /// byte-identical for every combination.
   Result<StandaloneRun> Join(
       const TableInput& left, const TableInput& right,
       const SpatialPredicate& predicate,
       const PrepareOptions& prepare = PrepareOptions(),
       std::shared_ptr<const StandaloneRight> prebuilt = nullptr,
-      const ProbeOptions& probe = ProbeOptions());
+      const ProbeOptions& probe = ProbeOptions(),
+      const dfs::ScanOptions& scan = dfs::ScanOptions());
 
   /// Replays a run on `cluster` (static scheduling, no engine overheads).
   static sim::RunReport Simulate(const StandaloneRun& run,

@@ -9,6 +9,7 @@ namespace cloudjoin::join {
 /// (src/exec/); the join layer re-exports them under its historical
 /// names.
 using GeometryEncoding = exec::GeometryEncoding;
+using TableFormat = exec::TableFormat;
 using TableInput = exec::TableInput;
 
 }  // namespace cloudjoin::join

@@ -1,0 +1,233 @@
+#include "dfs/columnar_block.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/convert.h"
+#include "dfs/sim_file_system.h"
+#include "geom/envelope.h"
+#include "join/table_input.h"
+
+namespace cloudjoin::dfs {
+namespace {
+
+/// Writes `blob` as a DFS file and opens a reader over it.
+class ColumnarFixture {
+ public:
+  explicit ColumnarFixture(std::string blob) : fs_(2) {
+    EXPECT_TRUE(fs_.WriteFile("/t.col", std::move(blob)).ok());
+    auto file = fs_.GetFile("/t.col");
+    EXPECT_TRUE(file.ok());
+    file_ = *file;
+  }
+
+  const SimFile& file() const { return *file_; }
+
+ private:
+  SimFileSystem fs_;
+  const SimFile* file_ = nullptr;
+};
+
+TEST(ColumnarBlockTest, EmptyTableRoundTrip) {
+  ColumnarTableBuilder builder;
+  ColumnarFixture fx(builder.Finish());
+  auto reader = ColumnarTableReader::Open(fx.file());
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ(reader->num_blocks(), 0);
+  EXPECT_EQ(reader->total_rows(), 0);
+}
+
+TEST(ColumnarBlockTest, SingleRowRoundTrip) {
+  ColumnarTableBuilder builder;
+  builder.Add(42, geom::Envelope(1.0, 2.0, 3.0, 4.0), "POINT (2 3)");
+  EXPECT_EQ(builder.rows_added(), 1);
+  ColumnarFixture fx(builder.Finish());
+  auto reader = ColumnarTableReader::Open(fx.file());
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  ASSERT_EQ(reader->num_blocks(), 1);
+  EXPECT_EQ(reader->total_rows(), 1);
+  EXPECT_EQ(reader->zone_map(0), geom::Envelope(1.0, 2.0, 3.0, 4.0));
+  auto block = reader->ReadBlock(0);
+  ASSERT_TRUE(block.ok()) << block.status();
+  ASSERT_EQ(block->size(), 1);
+  EXPECT_EQ(block->ids[0], 42);
+  EXPECT_EQ(block->wkt[0], "POINT (2 3)");
+  EXPECT_EQ(block->RowEnvelope(0), geom::Envelope(1.0, 2.0, 3.0, 4.0));
+}
+
+TEST(ColumnarBlockTest, MultiBlockPreservesRowOrderAndZoneMaps) {
+  ColumnarTableBuilder builder(/*block_rows=*/2);
+  for (int64_t i = 0; i < 5; ++i) {
+    const double d = static_cast<double>(i);
+    builder.Add(i, geom::Envelope(d, d, d + 1, d + 1),
+                "ROW" + std::to_string(i));
+  }
+  ColumnarFixture fx(builder.Finish());
+  auto reader = ColumnarTableReader::Open(fx.file());
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  ASSERT_EQ(reader->num_blocks(), 3);  // 2 + 2 + 1
+  EXPECT_EQ(reader->total_rows(), 5);
+  EXPECT_EQ(reader->block_rows(0), 2);
+  EXPECT_EQ(reader->block_rows(2), 1);
+  // Zone-map of block 0 = union of rows 0 and 1.
+  EXPECT_EQ(reader->zone_map(0), geom::Envelope(0.0, 0.0, 2.0, 2.0));
+  EXPECT_EQ(reader->zone_map(2), geom::Envelope(4.0, 4.0, 5.0, 5.0));
+  // Header offsets are strictly increasing and start after the file
+  // header (the scan-range block-ownership coordinate).
+  EXPECT_GT(reader->block_offset(0), 0);
+  EXPECT_LT(reader->block_offset(0), reader->block_offset(1));
+  EXPECT_LT(reader->block_offset(1), reader->block_offset(2));
+  int64_t next = 0;
+  for (int64_t b = 0; b < reader->num_blocks(); ++b) {
+    auto block = reader->ReadBlock(b);
+    ASSERT_TRUE(block.ok()) << block.status();
+    for (int64_t i = 0; i < block->size(); ++i) {
+      EXPECT_EQ(block->ids[static_cast<size_t>(i)], next);
+      EXPECT_EQ(block->wkt[static_cast<size_t>(i)],
+                "ROW" + std::to_string(next));
+      ++next;
+    }
+  }
+  EXPECT_EQ(next, 5);
+}
+
+TEST(ColumnarBlockTest, EmptyGeometriesYieldEmptyZoneMap) {
+  ColumnarTableBuilder builder(/*block_rows=*/2);
+  builder.Add(1, geom::Envelope(), "POINT EMPTY");
+  builder.Add(2, geom::Envelope(), "POLYGON EMPTY");
+  ColumnarFixture fx(builder.Finish());
+  auto reader = ColumnarTableReader::Open(fx.file());
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  ASSERT_EQ(reader->num_blocks(), 1);
+  // All-EMPTY block: zone-map is empty, so it intersects nothing and is
+  // always safely prunable.
+  EXPECT_TRUE(reader->zone_map(0).IsEmpty());
+  EXPECT_FALSE(
+      reader->zone_map(0).Intersects(geom::Envelope(-1e300, -1e300, 1e300,
+                                                    1e300)));
+  auto block = reader->ReadBlock(0);
+  ASSERT_TRUE(block.ok()) << block.status();
+  EXPECT_TRUE(block->RowEnvelope(0).IsEmpty());
+  EXPECT_EQ(block->wkt[1], "POLYGON EMPTY");
+}
+
+TEST(ColumnarBlockTest, ExtremeMagnitudeCoordinatesAreExact) {
+  // Coordinates at the edge of double range and of %.17g rendering: the
+  // envelope columns are raw doubles, so round-tripping must be bit-exact.
+  const double values[] = {1.7976931348623157e308, -2.2250738585072014e-308,
+                           1.0000000000000002, -0.0};
+  ColumnarTableBuilder builder;
+  char wkt[128];
+  for (int i = 0; i < 4; ++i) {
+    const double v = values[i];
+    std::snprintf(wkt, sizeof(wkt), "POINT (%.17g %.17g)", v, -v);
+    builder.Add(i, geom::Envelope(v, -v, v, -v), wkt);
+  }
+  ColumnarFixture fx(builder.Finish());
+  auto reader = ColumnarTableReader::Open(fx.file());
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  auto block = reader->ReadBlock(0);
+  ASSERT_TRUE(block.ok()) << block.status();
+  for (int i = 0; i < 4; ++i) {
+    const size_t s = static_cast<size_t>(i);
+    EXPECT_EQ(block->min_x[s], values[i]);
+    EXPECT_EQ(block->min_y[s], -values[i]);
+    std::snprintf(wkt, sizeof(wkt), "POINT (%.17g %.17g)", values[i],
+                  -values[i]);
+    EXPECT_EQ(block->wkt[s], wkt);
+  }
+}
+
+TEST(ColumnarBlockTest, RejectsShortFile) {
+  ColumnarFixture fx("CJCB");
+  auto reader = ColumnarTableReader::Open(fx.file());
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(ColumnarBlockTest, RejectsBadMagic) {
+  ColumnarTableBuilder builder;
+  builder.Add(1, geom::Envelope(0, 0, 1, 1), "POINT (0 0)");
+  std::string blob = builder.Finish();
+  blob[0] = 'X';
+  ColumnarFixture fx(std::move(blob));
+  auto reader = ColumnarTableReader::Open(fx.file());
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(ColumnarBlockTest, RejectsUnsupportedVersion) {
+  ColumnarTableBuilder builder;
+  builder.Add(1, geom::Envelope(0, 0, 1, 1), "POINT (0 0)");
+  std::string blob = builder.Finish();
+  blob[4] = static_cast<char>(kColumnarVersion + 1);  // little-endian u32
+  ColumnarFixture fx(std::move(blob));
+  auto reader = ColumnarTableReader::Open(fx.file());
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(ColumnarBlockTest, RejectsTruncation) {
+  ColumnarTableBuilder builder(/*block_rows=*/2);
+  for (int64_t i = 0; i < 6; ++i) {
+    builder.Add(i, geom::Envelope(0, 0, 1, 1), "POINT (0.5 0.5)");
+  }
+  const std::string blob = builder.Finish();
+  // Every proper prefix must be rejected at Open — a truncated block
+  // header, a truncated column chunk, and a missing whole block alike.
+  for (size_t len : {blob.size() - 1, blob.size() - 9, blob.size() / 2,
+                     static_cast<size_t>(30)}) {
+    ColumnarFixture fx(blob.substr(0, len));
+    auto reader = ColumnarTableReader::Open(fx.file());
+    EXPECT_FALSE(reader.ok()) << "prefix of " << len << " bytes accepted";
+  }
+  // Trailing garbage is equally a parse error, not ignorable padding.
+  ColumnarFixture fx(blob + "x");
+  EXPECT_FALSE(ColumnarTableReader::Open(fx.file()).ok());
+}
+
+TEST(ColumnarConvertTest, TranscodesAndDropsMalformedRows) {
+  SimFileSystem fs(2);
+  ASSERT_TRUE(fs.WriteTextFile("/src.tbl",
+                               {
+                                   "10\tPOINT (1 2)",
+                                   "only-one-field",
+                                   "not-an-id\tPOINT (3 4)",
+                                   "11\tNOT A GEOMETRY",
+                                   "12\tPOINT (5 6)",
+                               })
+                  .ok());
+  join::TableInput src;
+  src.path = "/src.tbl";
+  data::ColumnarConvertStats stats;
+  auto dst = data::ConvertTextTableToColumnar(&fs, src, "/dst.col",
+                                              /*block_rows=*/2, &stats);
+  ASSERT_TRUE(dst.ok()) << dst.status();
+  EXPECT_EQ(dst->format, join::TableFormat::kColumnar);
+  EXPECT_EQ(dst->path, "/dst.col");
+  EXPECT_EQ(stats.rows, 2);
+  EXPECT_EQ(stats.dropped, 3);
+  EXPECT_EQ(stats.blocks, 1);
+
+  auto file = fs.GetFile("/dst.col");
+  ASSERT_TRUE(file.ok());
+  auto reader = ColumnarTableReader::Open(**file);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  auto block = reader->ReadBlock(0);
+  ASSERT_TRUE(block.ok()) << block.status();
+  ASSERT_EQ(block->size(), 2);
+  EXPECT_EQ(block->ids[0], 10);
+  EXPECT_EQ(block->wkt[0], "POINT (1 2)");
+  EXPECT_EQ(block->RowEnvelope(0), geom::Envelope(1, 2, 1, 2));
+  EXPECT_EQ(block->ids[1], 12);
+}
+
+TEST(ScanOptionsTest, FingerprintDistinguishesZoneMap) {
+  ScanOptions on;
+  ScanOptions off;
+  off.zone_map = false;
+  EXPECT_NE(on.Fingerprint(), off.Fingerprint());
+}
+
+}  // namespace
+}  // namespace cloudjoin::dfs

@@ -127,6 +127,36 @@ TEST(LineRecordReaderTest, SplitOwnership) {
   }
 }
 
+TEST(LineRecordReaderTest, ReportsLineNumberAndOffset) {
+  std::string data = "aaaa\nbb\ncccc\n";
+  LineRecordReader reader(data, 0, static_cast<int64_t>(data.size()));
+  EXPECT_EQ(reader.line_number(), 0);  // before the first Next
+  std::string_view line;
+  ASSERT_TRUE(reader.Next(&line));
+  EXPECT_EQ(reader.line_number(), 1);
+  EXPECT_EQ(reader.record_offset(), 0);
+  ASSERT_TRUE(reader.Next(&line));
+  EXPECT_EQ(reader.line_number(), 2);
+  EXPECT_EQ(reader.record_offset(), 5);
+  ASSERT_TRUE(reader.Next(&line));
+  EXPECT_EQ(reader.line_number(), 3);
+  EXPECT_EQ(reader.record_offset(), 8);
+  EXPECT_EQ(reader.bytes_read(), static_cast<int64_t>(data.size()));
+}
+
+TEST(LineRecordReaderTest, RecordOffsetIsAbsoluteInSplits) {
+  // A split starting mid-line reports offsets in whole-file coordinates,
+  // so a malformed-line report locates the bytes without knowing the
+  // split layout.
+  std::string data = "aaaa\nbbbb\ncccc\n";
+  LineRecordReader reader(data, 7, 8);  // starts inside "bbbb"
+  std::string_view line;
+  ASSERT_TRUE(reader.Next(&line));
+  EXPECT_EQ(line, "cccc");
+  EXPECT_EQ(reader.line_number(), 1);  // first line of THIS split
+  EXPECT_EQ(reader.record_offset(), 10);
+}
+
 // Property: any partition of the byte range into contiguous splits yields
 // each line exactly once, in order.
 class SplitProperty : public ::testing::TestWithParam<int> {};

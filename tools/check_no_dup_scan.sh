@@ -16,6 +16,17 @@
 #
 # Engines must route through exec::ParseGeosWkt / exec::ParseGeometryText
 # and exec::RightIndexBuilder instead.
+#
+# PR 6 added the columnar block format. The storage layer now has exactly
+# two sanctioned scan entry points — dfs::LineRecordReader (text) and
+# dfs::ColumnarTableReader (columnar blocks) — so two more tripwires:
+#
+#   3. The columnar wire format (magic, header arithmetic) is decoded only
+#      in src/dfs/columnar_block.*. A second decoder is a format fork.
+#   4. ColumnarTableReader / LineRecordReader may be used only by the
+#      storage layer itself, the execution core, and the sanctioned engine
+#      scan shells listed below. Any other module growing a scan loop must
+#      route through exec:: (probe scanner / right builder) instead.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -41,6 +52,18 @@ check "WKTReader usage" \
 check "right-side StrTree::Entry build" \
   "StrTree::Entry" \
   "^src/(exec/|index/)"
+
+check "columnar wire-format decoding" \
+  "kColumnarMagic" \
+  "^src/dfs/columnar_block"
+
+check "columnar scan entry point" \
+  "ColumnarTableReader" \
+  "^src/(dfs/columnar_block|exec/|data/convert|impala/exec_node|join/(standalone_mc|isp_mc_system))"
+
+check "text scan entry point" \
+  "LineRecordReader" \
+  "^src/(dfs/|exec/|data/convert|impala/exec_node|join/isp_mc_system|spark/rdd)"
 
 if [ "$fail" -eq 0 ]; then
   echo "check_no_dup_scan: OK (one scan loop, one parse entry point)"
