@@ -7,10 +7,16 @@
 // Usage:
 //   check_differential [--seeds=N] [--seed-base=B] [--shrink=0]
 //                      [--dfs=0] [--service=0] [--columnar=0] [--verbose]
+//                      [--stream-seeds=N] [--stream-seed-base=B]
+//
+// --stream-seeds > 0 additionally runs the streaming differential arm:
+// windowed continuous queries (incremental grid + rebuild baseline)
+// checked byte-identical against one-shot batch joins per window.
 
 #include <cstdio>
 
 #include "check/differential.h"
+#include "check/stream_differential.h"
 #include "common/flags.h"
 
 int main(int argc, char** argv) {
@@ -19,6 +25,9 @@ int main(int argc, char** argv) {
   const uint64_t base = static_cast<uint64_t>(flags.GetInt("seed-base", 1));
   const bool shrink = flags.GetBool("shrink", true);
   const bool verbose = flags.GetBool("verbose", false);
+  const int stream_seeds = static_cast<int>(flags.GetInt("stream-seeds", 0));
+  const uint64_t stream_base =
+      static_cast<uint64_t>(flags.GetInt("stream-seed-base", 1));
 
   cloudjoin::check::DifferentialRunner::Options options;
   options.run_dfs_engines = flags.GetBool("dfs", true);
@@ -47,5 +56,23 @@ int main(int argc, char** argv) {
       static_cast<long long>(counters.Get("check.cases")),
       static_cast<long long>(counters.Get("check.engines_run")),
       static_cast<long long>(counters.Get("check.mismatched_cases")));
-  return failures.empty() ? 0 : 1;
+
+  bool stream_failed = false;
+  if (stream_seeds > 0) {
+    cloudjoin::check::StreamCheckReport stream_report =
+        cloudjoin::check::RunStreamDifferential(stream_base, stream_seeds,
+                                                verbose);
+    for (const std::string& failure : stream_report.failures) {
+      std::printf("== STREAM MISMATCH %s\n", failure.c_str());
+    }
+    std::printf(
+        "stream_differential: %lld seeds, %lld events, %lld windows, %zu "
+        "mismatches\n",
+        static_cast<long long>(stream_report.seeds),
+        static_cast<long long>(stream_report.events),
+        static_cast<long long>(stream_report.windows),
+        stream_report.failures.size());
+    stream_failed = !stream_report.failures.empty();
+  }
+  return failures.empty() && !stream_failed ? 0 : 1;
 }

@@ -38,9 +38,7 @@ void LatencyHistogram::Record(double seconds) {
   ++data_.buckets[static_cast<size_t>(BucketFor(seconds))];
 }
 
-void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
-  Snapshot theirs = other.TakeSnapshot();
-  std::lock_guard<std::mutex> lock(mu_);
+void LatencyHistogram::MergeLocked(const Snapshot& theirs) {
   if (theirs.count != 0) {
     if (data_.count == 0 || theirs.min_seconds < data_.min_seconds) {
       data_.min_seconds = theirs.min_seconds;
@@ -52,9 +50,27 @@ void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
   for (int i = 0; i < kNumBuckets; ++i) data_.buckets[i] += theirs.buckets[i];
 }
 
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  Snapshot theirs = other.TakeSnapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  MergeLocked(theirs);
+}
+
+void LatencyHistogram::Merge(const Snapshot& other) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MergeLocked(other);
+}
+
 LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return data_;
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::TakeSnapshotAndReset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot out = data_;
+  data_ = Snapshot();
+  return out;
 }
 
 double LatencyHistogram::Snapshot::PercentileSeconds(double q) const {

@@ -52,11 +52,23 @@ class LatencyHistogram {
 
   void MergeFrom(const LatencyHistogram& other);
 
+  /// Adds a previously taken snapshot into this accumulator — the
+  /// per-window → stream-lifetime rollup. Bucket counts add elementwise
+  /// (both sides use the fixed compile-time bucket layout), min/max widen.
+  void Merge(const Snapshot& other);
+
   Snapshot TakeSnapshot() const;
+
+  /// Atomically snapshots and clears, so callers can read per-interval
+  /// deltas without subtracting process-lifetime totals.
+  Snapshot TakeSnapshotAndReset();
 
  private:
   /// Bucket index for `seconds` (monotone in its argument).
   static int BucketFor(double seconds);
+
+  /// Merge body shared by MergeFrom/Merge; caller holds mu_.
+  void MergeLocked(const Snapshot& theirs);
 
   mutable std::mutex mu_;
   Snapshot data_;

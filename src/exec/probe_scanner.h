@@ -110,6 +110,42 @@ Status RunColumnarGeosProbes(const dfs::ColumnarTableReader& reader,
                              ProbeStats* stats, ColumnarScanStats* scan_stats,
                              OnBlock&& on_block);
 
+/// Accessor-based form of the two-phase probe driver, for probe sets that
+/// are not laid out as a `GeosProbeBatch` (e.g. the streaming window grid,
+/// which owns its parsed geometries inside per-cell entries and cannot
+/// hand them to a batch without cloning). `get_geom(i)` must return the
+/// parsed GEOS-role geometry (convertible to `const geosim::Geometry&`),
+/// `get_wkt(i)` the retained WKT text (`const std::string&` — the refiner
+/// re-parses it on the prepared path), and `get_id(i)` the probe record
+/// id. Emits `emit(IdPair)` for every match in probe order; `stats` must
+/// be non-null. The batch overload below delegates here.
+template <typename GetGeom, typename GetWkt, typename GetId, typename Emit>
+void RunGeosProbes(int64_t count, GetGeom&& get_geom, GetWkt&& get_wkt,
+                   GetId&& get_id, const BuiltRight& right,
+                   const SpatialPredicate& predicate,
+                   const index::ProbeOptions& probe_options, Emit&& emit,
+                   ProbeStats* stats) {
+  const GeosRefiner refiner(&right, &predicate);
+  index::BatchStats filter_stats;
+  index::RunBatchedProbes(
+      count, *right.tree, right.packed.get(), probe_options,
+      [&](int64_t i) {
+        const geosim::Geometry& g = get_geom(i);
+        return g.getEnvelopeInternal();
+      },
+      [&](int64_t i, int64_t slot) {
+        ++stats->candidates;
+        const geosim::Geometry& g = get_geom(i);
+        if (refiner.Refine(g, get_wkt(i), static_cast<size_t>(slot),
+                           &stats->refine)) {
+          ++stats->matches;
+          emit(IdPair(get_id(i), right.ids[static_cast<size_t>(slot)]));
+        }
+      },
+      &filter_stats);
+  stats->AddFilter(filter_stats);
+}
+
 /// Runs one parsed probe batch through the shared two-phase driver
 /// (columnar filter via index::RunBatchedProbes, then GeosRefiner), calling
 /// `emit(IdPair)` for every match in probe order. `stats` must be non-null.
@@ -118,25 +154,16 @@ void RunGeosProbes(const GeosProbeBatch& probes, const BuiltRight& right,
                    const SpatialPredicate& predicate,
                    const index::ProbeOptions& probe_options, Emit&& emit,
                    ProbeStats* stats) {
-  const GeosRefiner refiner(&right, &predicate);
-  index::BatchStats filter_stats;
-  index::RunBatchedProbes(
-      probes.size(), *right.tree, right.packed.get(), probe_options,
-      [&](int64_t i) {
-        return probes.geoms[static_cast<size_t>(i)]->getEnvelopeInternal();
+  RunGeosProbes(
+      probes.size(),
+      [&](int64_t i) -> const geosim::Geometry& {
+        return *probes.geoms[static_cast<size_t>(i)];
       },
-      [&](int64_t i, int64_t slot) {
-        ++stats->candidates;
-        if (refiner.Refine(*probes.geoms[static_cast<size_t>(i)],
-                           probes.wkt[static_cast<size_t>(i)],
-                           static_cast<size_t>(slot), &stats->refine)) {
-          ++stats->matches;
-          emit(IdPair(probes.ids[static_cast<size_t>(i)],
-                      right.ids[static_cast<size_t>(slot)]));
-        }
+      [&](int64_t i) -> const std::string& {
+        return probes.wkt[static_cast<size_t>(i)];
       },
-      &filter_stats);
-  stats->AddFilter(filter_stats);
+      [&](int64_t i) { return probes.ids[static_cast<size_t>(i)]; }, right,
+      predicate, probe_options, std::forward<Emit>(emit), stats);
 }
 
 template <typename Emit, typename OnBlock>

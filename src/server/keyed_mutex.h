@@ -1,0 +1,33 @@
+#ifndef CLOUDJOIN_SERVER_KEYED_MUTEX_H_
+#define CLOUDJOIN_SERVER_KEYED_MUTEX_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace cloudjoin::server {
+
+/// One mutex per in-flight build key, so concurrent misses on the same
+/// fingerprint build once while distinct keys build in parallel. Mutexes
+/// persist per distinct key (bounded by the number of distinct
+/// fingerprints the service ever sees — small). Shared by the SQL caching
+/// provider, the kernel bypass path, and the streaming right-side
+/// resolver, so all three dedupe against the same primitive.
+class KeyedMutex {
+ public:
+  std::shared_ptr<std::mutex> Get(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<std::mutex>& slot = mutexes_[key];
+    if (slot == nullptr) slot = std::make_shared<std::mutex>();
+    return slot;
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<std::mutex>> mutexes_;
+};
+
+}  // namespace cloudjoin::server
+
+#endif  // CLOUDJOIN_SERVER_KEYED_MUTEX_H_

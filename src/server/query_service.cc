@@ -16,24 +16,6 @@
 
 namespace cloudjoin::server {
 
-/// One mutex per in-flight build key, so concurrent misses on the same
-/// fingerprint build once while distinct keys build in parallel. Mutexes
-/// persist per distinct key (bounded by the number of distinct
-/// fingerprints the service ever sees — small).
-class KeyedMutex {
- public:
-  std::shared_ptr<std::mutex> Get(const std::string& key) {
-    std::lock_guard<std::mutex> lock(mu_);
-    std::shared_ptr<std::mutex>& slot = mutexes_[key];
-    if (slot == nullptr) slot = std::make_shared<std::mutex>();
-    return slot;
-  }
-
- private:
-  std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<std::mutex>> mutexes_;
-};
-
 /// The service's `impala::BroadcastProvider`: resolves broadcast builds
 /// through the shared LRU cache with single-flight deduplication.
 class QueryService::CachingProvider : public impala::BroadcastProvider {
@@ -75,8 +57,7 @@ QueryService::QueryService(dfs::SimFileSystem* fs,
       admission_(options.admission),
       cache_(options.cache),
       pool_(std::max(options.num_threads, options.admission.max_concurrent)),
-      provider_(std::make_unique<CachingProvider>(&cache_)),
-      kernel_flights_(std::make_unique<KeyedMutex>()) {}
+      provider_(std::make_unique<CachingProvider>(&cache_)) {}
 
 QueryService::~QueryService() = default;
 
@@ -158,9 +139,8 @@ Result<QueryResponse> QueryService::Execute(
   response.query_id = query_id;
 
   queries_ok_.fetch_add(1);
-  queue_latency_.Record(response.queue_seconds);
-  exec_latency_.Record(response.exec_seconds);
-  total_latency_.Record(response.total_seconds);
+  RecordLatencies(response.queue_seconds, response.exec_seconds,
+                  response.total_seconds);
   return response;
 }
 
@@ -196,7 +176,7 @@ Result<KernelJoinResponse> QueryService::ExecuteBroadcastJoin(
     response.index_cache_hit = true;
     response.counters.Add("join.index_cache_hit", 1);
   } else {
-    std::shared_ptr<std::mutex> flight = kernel_flights_->Get(key);
+    std::shared_ptr<std::mutex> flight = kernel_flights_.Get(key);
     std::lock_guard<std::mutex> flight_lock(*flight);
     if (options_.enable_cache) {
       index = cache_.LookupAs<join::BroadcastIndex>(key);
@@ -228,10 +208,20 @@ Result<KernelJoinResponse> QueryService::ExecuteBroadcastJoin(
   ticket.Release();
 
   queries_ok_.fetch_add(1);
-  queue_latency_.Record(response.queue_seconds);
-  exec_latency_.Record(response.build_seconds + response.probe_seconds);
-  total_latency_.Record(total_watch.ElapsedSeconds());
+  RecordLatencies(response.queue_seconds,
+                  response.build_seconds + response.probe_seconds,
+                  total_watch.ElapsedSeconds());
   return response;
+}
+
+void QueryService::RecordLatencies(double queue_seconds, double exec_seconds,
+                                   double total_seconds) {
+  queue_latency_.Record(queue_seconds);
+  exec_latency_.Record(exec_seconds);
+  total_latency_.Record(total_seconds);
+  interval_queue_latency_.Record(queue_seconds);
+  interval_exec_latency_.Record(exec_seconds);
+  interval_total_latency_.Record(total_seconds);
 }
 
 ServiceStats QueryService::GetStats() const {
@@ -246,6 +236,55 @@ ServiceStats QueryService::GetStats() const {
   stats.exec_latency = exec_latency_.TakeSnapshot();
   stats.total_latency = total_latency_.TakeSnapshot();
   return stats;
+}
+
+namespace {
+
+/// Delta of the monotone admission counts since `base`; gauges (running,
+/// queued, reserved_bytes) and the peak stay at their current values.
+AdmissionController::Stats IntervalDelta(const AdmissionController::Stats& now,
+                                         const AdmissionController::Stats& base) {
+  AdmissionController::Stats d = now;
+  d.admitted_immediately -= base.admitted_immediately;
+  d.admitted_after_wait -= base.admitted_after_wait;
+  d.rejected_queue_full -= base.rejected_queue_full;
+  d.rejected_timeout -= base.rejected_timeout;
+  d.rejected_oversize -= base.rejected_oversize;
+  return d;
+}
+
+/// Delta of the monotone cache counts; bytes/peak_bytes/entries are gauges.
+BroadcastIndexCache::Stats IntervalDelta(const BroadcastIndexCache::Stats& now,
+                                         const BroadcastIndexCache::Stats& base) {
+  BroadcastIndexCache::Stats d = now;
+  d.hits -= base.hits;
+  d.misses -= base.misses;
+  d.insertions -= base.insertions;
+  d.evictions -= base.evictions;
+  d.invalidations -= base.invalidations;
+  d.rejected_oversize -= base.rejected_oversize;
+  return d;
+}
+
+}  // namespace
+
+ServiceStats QueryService::TakeIntervalStats() {
+  std::lock_guard<std::mutex> lock(interval_mu_);
+  ServiceStats now = GetStats();
+
+  ServiceStats interval = now;
+  interval.admission = IntervalDelta(now.admission, interval_base_.admission);
+  interval.cache = IntervalDelta(now.cache, interval_base_.cache);
+  interval.queries_submitted -= interval_base_.queries_submitted;
+  interval.queries_ok -= interval_base_.queries_ok;
+  interval.queries_rejected -= interval_base_.queries_rejected;
+  interval.queries_failed -= interval_base_.queries_failed;
+  interval.queue_latency = interval_queue_latency_.TakeSnapshotAndReset();
+  interval.exec_latency = interval_exec_latency_.TakeSnapshotAndReset();
+  interval.total_latency = interval_total_latency_.TakeSnapshotAndReset();
+
+  interval_base_ = now;
+  return interval;
 }
 
 std::string ServiceStats::ToString() const {

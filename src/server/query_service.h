@@ -23,10 +23,9 @@
 #include "join/table_input.h"
 #include "server/admission_controller.h"
 #include "server/broadcast_index_cache.h"
+#include "server/keyed_mutex.h"
 
 namespace cloudjoin::server {
-
-class KeyedMutex;
 
 /// Configuration of one `QueryService`.
 struct ServiceOptions {
@@ -163,8 +162,17 @@ class QueryService {
 
   ServiceStats GetStats() const;
 
+  /// Stats since the previous `TakeIntervalStats()` call (or since
+  /// construction, for the first call): latency histograms restart from
+  /// empty and monotone counts are deltas, so per-window / per-interval
+  /// reporting needs no process-lifetime subtraction by the caller.
+  /// Gauges (running, queued, cache bytes/entries, peaks) stay current
+  /// values. `GetStats()` remains lifetime-cumulative and is unaffected.
+  ServiceStats TakeIntervalStats();
+
   AdmissionController* admission() { return &admission_; }
   BroadcastIndexCache* cache() { return &cache_; }
+  const ServiceOptions& options() const { return options_; }
 
   /// The wrapped engine, for introspection (EXPLAIN etc.). Do not run
   /// queries through it directly — that would bypass admission.
@@ -177,6 +185,11 @@ class QueryService {
   Result<impala::QueryResult> RunOnPool(const std::string& sql,
                                         const impala::QueryOptions& options);
 
+  /// Feeds one finished query's timings into both the lifetime and the
+  /// interval histograms.
+  void RecordLatencies(double queue_seconds, double exec_seconds,
+                       double total_seconds);
+
   ServiceOptions options_;
   join::IspMcSystem system_;
   AdmissionController admission_;
@@ -184,7 +197,7 @@ class QueryService {
   ThreadPool pool_;
   std::unique_ptr<CachingProvider> provider_;
   /// Single-flight locks for bypass-path index builds.
-  std::unique_ptr<KeyedMutex> kernel_flights_;
+  KeyedMutex kernel_flights_;
 
   /// Guards the catalog: queries shared, RegisterTable exclusive.
   std::shared_mutex catalog_mu_;
@@ -201,6 +214,16 @@ class QueryService {
   LatencyHistogram queue_latency_;
   LatencyHistogram exec_latency_;
   LatencyHistogram total_latency_;
+
+  /// Interval twins of the lifetime histograms: Record() feeds both, and
+  /// TakeIntervalStats() drains only these.
+  LatencyHistogram interval_queue_latency_;
+  LatencyHistogram interval_exec_latency_;
+  LatencyHistogram interval_total_latency_;
+  /// Serializes interval readers and holds the monotone-count baselines
+  /// subtracted to produce deltas.
+  std::mutex interval_mu_;
+  ServiceStats interval_base_;
 };
 
 }  // namespace cloudjoin::server

@@ -1,0 +1,30 @@
+#ifndef CLOUDJOIN_STREAM_STREAM_EVENT_H_
+#define CLOUDJOIN_STREAM_STREAM_EVENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cloudjoin::stream {
+
+/// One timestamped geometry arrival on a live feed (a taxi GPS ping, a
+/// species observation). Event time and arrival order are deliberately
+/// separate: sources may deliver out of order (bounded by the window
+/// spec's allowed lateness), and all downstream ordering — including the
+/// byte-identical differential guarantee — is defined over `seq`, the
+/// arrival ordinal stamped by the WindowManager when the event is
+/// accepted.
+struct StreamEvent {
+  /// Arrival ordinal within one WindowManager; 0 until accepted.
+  int64_t seq = 0;
+  /// Event-time timestamp in milliseconds (source-assigned, may lag the
+  /// maximum seen — that is what watermarks bound).
+  int64_t event_time_ms = 0;
+  /// Record id, joins against the right side's id column.
+  int64_t id = 0;
+  /// Geometry as WKT; parsed once on arrival by the incremental index.
+  std::string wkt;
+};
+
+}  // namespace cloudjoin::stream
+
+#endif  // CLOUDJOIN_STREAM_STREAM_EVENT_H_

@@ -1,0 +1,121 @@
+#include "stream/window_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace cloudjoin::stream {
+
+Status WindowSpec::Validate() const {
+  if (size_ms <= 0) {
+    return Status::InvalidArgument("window size_ms must be positive");
+  }
+  if (slide_ms < 0) {
+    return Status::InvalidArgument("window slide_ms must be >= 0");
+  }
+  if (slide_ms > 0 && size_ms % slide_ms != 0) {
+    return Status::InvalidArgument(
+        "window size_ms must be a multiple of slide_ms (pane decomposition)");
+  }
+  if (slide_ms > size_ms) {
+    return Status::InvalidArgument("window slide_ms must be <= size_ms");
+  }
+  if (allowed_lateness_ms < 0) {
+    return Status::InvalidArgument("allowed_lateness_ms must be >= 0");
+  }
+  return Status::OK();
+}
+
+std::string WindowSpec::ToString() const {
+  std::string out = "size=" + std::to_string(size_ms) + "ms";
+  out += slide_ms > 0 ? " slide=" + std::to_string(slide_ms) + "ms"
+                      : " tumbling";
+  out += " lateness=" + std::to_string(allowed_lateness_ms) + "ms";
+  return out;
+}
+
+WindowManager::WindowManager(const WindowSpec& spec)
+    : spec_(spec),
+      slide_(spec.SlideMs()),
+      panes_per_window_(spec.PanesPerWindow()) {
+  CLOUDJOIN_CHECK(spec.Validate().ok());
+}
+
+WindowManager::Observed WindowManager::Observe(StreamEvent event,
+                                               const WindowFn& on_window) {
+  const int64_t pane = FloorDiv(event.event_time_ms, slide_);
+  if (any_accepted_ && pane < next_window_) {
+    // Bounded late policy: the last window containing this pane is window
+    // `pane`, and it has already fired. (Checked before this event's own
+    // watermark contribution — an event cannot out-date itself.)
+    return Observed{};
+  }
+  event.seq = next_seq_++;
+  std::deque<StreamEvent>& store = panes_[pane];
+  store.push_back(std::move(event));
+  const StreamEvent* stored = &store.back();
+  ++live_events_;
+  if (!any_accepted_) {
+    any_accepted_ = true;
+    // The earliest window that could still receive events: the first one
+    // containing the first event's pane. Earlier (fully past) windows
+    // never existed as far as firing is concerned.
+    next_window_ = pane - panes_per_window_ + 1;
+    watermark_ = stored->event_time_ms - spec_.allowed_lateness_ms;
+    max_pane_ = pane;
+  } else {
+    max_pane_ = std::max(max_pane_, pane);
+    watermark_ = std::max(watermark_,
+                          stored->event_time_ms - spec_.allowed_lateness_ms);
+  }
+  FireReady(on_window);
+  return Observed{stored, pane};
+}
+
+void WindowManager::FireReady(const WindowFn& on_window) {
+  while (WindowEnd(next_window_) <= watermark_) {
+    Fire(/*on_flush=*/false, on_window);
+  }
+}
+
+void WindowManager::Flush(const WindowFn& on_window) {
+  if (!any_accepted_) return;
+  while (next_window_ <= max_pane_) {
+    Fire(/*on_flush=*/true, on_window);
+  }
+}
+
+void WindowManager::Fire(bool on_flush, const WindowFn& on_window) {
+  const int64_t w = next_window_;
+  ClosedWindow closed;
+  closed.index = w;
+  closed.start_ms = w * slide_;
+  closed.end_ms = WindowEnd(w);
+  closed.watermark_ms = watermark_;
+  closed.on_flush = on_flush;
+  for (int64_t p = w; p < w + panes_per_window_; ++p) {
+    auto it = panes_.find(p);
+    if (it == panes_.end()) continue;
+    for (const StreamEvent& e : it->second) closed.events.push_back(&e);
+  }
+  // Panes are visited in order but arrivals interleave across panes;
+  // restore global arrival order (the batch-scan probe order).
+  std::sort(closed.events.begin(), closed.events.end(),
+            [](const StreamEvent* a, const StreamEvent* b) {
+              return a->seq < b->seq;
+            });
+  auto expiring = panes_.find(w);
+  closed.expiring_events =
+      expiring == panes_.end() ? 0
+                               : static_cast<int64_t>(expiring->second.size());
+  on_window(closed);
+  // Window w was the last window containing pane w: release it.
+  if (expiring != panes_.end()) {
+    live_events_ -= closed.expiring_events;
+    panes_.erase(expiring);
+  }
+  next_window_ = w + 1;
+}
+
+}  // namespace cloudjoin::stream

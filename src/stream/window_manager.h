@@ -1,0 +1,136 @@
+#ifndef CLOUDJOIN_STREAM_WINDOW_MANAGER_H_
+#define CLOUDJOIN_STREAM_WINDOW_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "stream/stream_event.h"
+
+namespace cloudjoin::stream {
+
+/// Event-time window definition. Tumbling windows are the slide == size
+/// special case (slide_ms == 0 selects it); sliding windows require
+/// size_ms to be a multiple of slide_ms so window contents decompose into
+/// *panes* — tumbling sub-windows of the slide — and every event is
+/// stored exactly once no matter how many windows overlap it.
+struct WindowSpec {
+  int64_t size_ms = 1000;
+  /// 0 = tumbling (slide == size). Otherwise must divide size_ms.
+  int64_t slide_ms = 0;
+  /// Watermark = max event time seen − allowed_lateness_ms. An event
+  /// older than the watermark is still accepted while some window that
+  /// contains it has not fired; beyond that it is dropped (the bounded
+  /// late-event policy).
+  int64_t allowed_lateness_ms = 0;
+
+  int64_t SlideMs() const { return slide_ms > 0 ? slide_ms : size_ms; }
+  int64_t PanesPerWindow() const { return size_ms / SlideMs(); }
+
+  Status Validate() const;
+  std::string ToString() const;
+};
+
+/// One fired window, handed to the on_window callback. The event pointers
+/// are owned by the manager and valid only during the callback — the
+/// oldest pane is released when the callback returns.
+struct ClosedWindow {
+  /// Window index: the window covering [index * slide, index * slide + size).
+  int64_t index = 0;
+  int64_t start_ms = 0;
+  int64_t end_ms = 0;
+  /// Watermark value at fire time (end_ms <= watermark_ms unless flushed).
+  int64_t watermark_ms = 0;
+  /// True when fired by Flush() rather than by watermark advance.
+  bool on_flush = false;
+  /// Events whose timestamp falls in [start_ms, end_ms), sorted by
+  /// arrival ordinal `seq` — the order a batch scan of the same contents
+  /// would probe in.
+  std::vector<const StreamEvent*> events;
+  /// Events of the expiring oldest pane, released after the callback
+  /// (this window was the last one containing them).
+  int64_t expiring_events = 0;
+};
+
+/// Event-time windowing with watermarks over a single feed: assigns each
+/// accepted event to its pane, advances the watermark as event time
+/// progresses, and fires every window whose end the watermark has passed
+/// — in window order, each exactly once, including empty windows between
+/// sparse events. Not thread-safe; the registry serializes access.
+///
+/// Late-event policy (bounded): an event is accepted as long as its pane
+/// is >= the next unfired window (some window containing it can still
+/// fire); otherwise it is dropped and counted by the caller. Lateness
+/// allowance is applied on the watermark side, so allowed_lateness_ms
+/// delays every firing rather than special-casing stragglers.
+class WindowManager {
+ public:
+  using WindowFn = std::function<void(const ClosedWindow&)>;
+
+  /// `spec` must Validate().
+  explicit WindowManager(const WindowSpec& spec);
+
+  /// Outcome of offering one event.
+  struct Observed {
+    /// Stable pointer to the stored event (null when dropped as late).
+    /// Valid until the event's last containing window fires.
+    const StreamEvent* event = nullptr;
+    /// Pane the event was stored in.
+    int64_t pane = 0;
+  };
+
+  /// Offers `event` to the feed: stamps its arrival `seq`, stores it (or
+  /// drops it late), advances the watermark, and fires every window the
+  /// new watermark closes via `on_window`. A fired window never contains
+  /// the event that triggered it (its own windows all end after the new
+  /// watermark), so callers may index the accepted event after Observe
+  /// returns and fired windows stay consistent.
+  Observed Observe(StreamEvent event, const WindowFn& on_window);
+
+  /// Fires every remaining non-past window (end of stream). Windows fired
+  /// here carry on_flush = true; the watermark is not advanced.
+  void Flush(const WindowFn& on_window);
+
+  int64_t watermark_ms() const { return watermark_; }
+  /// Events currently held in un-expired panes.
+  int64_t live_events() const { return live_events_; }
+  /// Index of the next window that will fire.
+  int64_t next_window() const { return next_window_; }
+
+ private:
+  void FireReady(const WindowFn& on_window);
+  void Fire(bool on_flush, const WindowFn& on_window);
+  int64_t WindowEnd(int64_t w) const { return w * slide_ + spec_.size_ms; }
+
+  WindowSpec spec_;
+  int64_t slide_;
+  int64_t panes_per_window_;
+
+  /// Pane index -> accepted events in arrival order. std::deque gives
+  /// stable element addresses under push_back (grid + callback hold
+  /// pointers into it).
+  std::map<int64_t, std::deque<StreamEvent>> panes_;
+
+  bool any_accepted_ = false;
+  int64_t watermark_ = 0;
+  int64_t next_window_ = 0;
+  int64_t max_pane_ = 0;
+  int64_t next_seq_ = 0;
+  int64_t live_events_ = 0;
+};
+
+/// floor(a / b) for b > 0 (negative-safe pane arithmetic — event times
+/// west of zero must not round toward it).
+constexpr int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if (a % b != 0 && a < 0) --q;
+  return q;
+}
+
+}  // namespace cloudjoin::stream
+
+#endif  // CLOUDJOIN_STREAM_WINDOW_MANAGER_H_

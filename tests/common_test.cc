@@ -331,6 +331,78 @@ TEST(LatencyHistogramTest, ConcurrentRecordsAllLand) {
   EXPECT_EQ(histogram.TakeSnapshot().count, 4000);
 }
 
+TEST(LatencyHistogramTest, MergeSnapshotAddsBucketwise) {
+  // The per-window -> stream-lifetime rollup: merging N window snapshots
+  // into a fresh histogram must reproduce exactly what recording every
+  // sample into one histogram would have, including samples that sit
+  // exactly ON bucket boundaries (kMinSeconds * kGrowth^i), where a
+  // re-bucketing implementation would be most likely to shift them.
+  std::vector<double> samples;
+  for (int i : {0, 1, 17, 40, 41, 90}) {
+    samples.push_back(LatencyHistogram::kMinSeconds *
+                      std::pow(LatencyHistogram::kGrowth, i));
+  }
+  samples.push_back(0.0);                              // clamps to bucket 0
+  samples.push_back(LatencyHistogram::kMinSeconds / 2);  // below the floor
+
+  LatencyHistogram oracle;
+  LatencyHistogram merged;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    oracle.Record(samples[i]);
+    // Each "window": a throwaway histogram holding one sample.
+    LatencyHistogram window;
+    window.Record(samples[i]);
+    merged.Merge(window.TakeSnapshot());
+  }
+
+  LatencyHistogram::Snapshot want = oracle.TakeSnapshot();
+  LatencyHistogram::Snapshot got = merged.TakeSnapshot();
+  EXPECT_EQ(got.count, want.count);
+  EXPECT_DOUBLE_EQ(got.sum_seconds, want.sum_seconds);
+  EXPECT_DOUBLE_EQ(got.min_seconds, want.min_seconds);
+  EXPECT_DOUBLE_EQ(got.max_seconds, want.max_seconds);
+  EXPECT_EQ(got.buckets, want.buckets);
+  for (double q : {0.25, 0.50, 0.75, 0.99}) {
+    EXPECT_DOUBLE_EQ(got.PercentileSeconds(q), want.PercentileSeconds(q));
+  }
+}
+
+TEST(LatencyHistogramTest, MergeEmptySnapshotKeepsMinMax) {
+  LatencyHistogram histogram;
+  histogram.Record(0.005);
+  LatencyHistogram empty;
+  histogram.Merge(empty.TakeSnapshot());
+  LatencyHistogram::Snapshot snapshot = histogram.TakeSnapshot();
+  EXPECT_EQ(snapshot.count, 1);
+  // An empty snapshot's zero min must not clobber the recorded min.
+  EXPECT_DOUBLE_EQ(snapshot.min_seconds, 0.005);
+  EXPECT_DOUBLE_EQ(snapshot.max_seconds, 0.005);
+}
+
+TEST(LatencyHistogramTest, TakeSnapshotAndResetDrainsAndRestarts) {
+  LatencyHistogram histogram;
+  histogram.Record(0.010);
+  histogram.Record(0.020);
+
+  LatencyHistogram::Snapshot first = histogram.TakeSnapshotAndReset();
+  EXPECT_EQ(first.count, 2);
+  EXPECT_DOUBLE_EQ(first.min_seconds, 0.010);
+
+  // Drained: the histogram starts a fresh interval.
+  EXPECT_EQ(histogram.TakeSnapshot().count, 0);
+  histogram.Record(0.500);
+  LatencyHistogram::Snapshot second = histogram.TakeSnapshotAndReset();
+  EXPECT_EQ(second.count, 1);
+  EXPECT_DOUBLE_EQ(second.min_seconds, 0.500);
+  EXPECT_DOUBLE_EQ(second.max_seconds, 0.500);
+
+  // The drained snapshots still roll up to the lifetime distribution.
+  LatencyHistogram lifetime;
+  lifetime.Merge(first);
+  lifetime.Merge(second);
+  EXPECT_EQ(lifetime.TakeSnapshot().count, 3);
+}
+
 TEST(FormatDurationTest, PicksReadableUnits) {
   EXPECT_EQ(FormatDuration(0.000741), "741us");
   EXPECT_NE(FormatDuration(0.0123).find("ms"), std::string::npos);

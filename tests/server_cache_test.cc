@@ -3,11 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <memory>
 #include <random>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "exec/built_right.h"
+#include "stream/continuous_query.h"
 
 namespace cloudjoin::server {
 namespace {
@@ -99,6 +103,77 @@ TEST(BroadcastIndexCacheTest, ClearEmptiesEverything) {
   EXPECT_EQ(stats.entries, 0);
   EXPECT_EQ(stats.bytes, 0);
   EXPECT_EQ(stats.invalidations, 16);
+}
+
+/// InvalidateTable landing in the middle of a single-flight build: the
+/// builder is gated on a promise (no sleeps — every ordering below is
+/// forced, in the spirit of the fake-clock admission tests), the
+/// invalidation runs while the build is provably in flight, and the build
+/// then completes and inserts. The stale artifact may linger under its
+/// OLD generation-fenced key — that is the documented benign race — but a
+/// resolver keyed on the table's new generation never serves it, and a
+/// second invalidation reaps it.
+TEST(BroadcastIndexCacheTest, InvalidateTableRacingSingleFlightBuild) {
+  BroadcastIndexCache cache({/*capacity_bytes=*/1 << 20, /*num_shards=*/1});
+  stream::CachedRightResolver resolver(&cache);
+
+  auto stale = std::make_shared<const exec::BuiltRight>();
+  auto fresh = std::make_shared<const exec::BuiltRight>();
+  std::promise<void> build_started;
+  std::promise<void> release_build;
+  std::shared_future<void> release = release_build.get_future().share();
+  std::atomic<int> builds{0};
+
+  // Generation-fenced keys, as ContinuousQueryRegistry::ResolveRight
+  // derives them from Catalog::TableGeneration.
+  const std::string old_key = "stream|t|gen=1|within";
+  const std::string new_key = "stream|t|gen=2|within";
+
+  std::thread racer([&]() {
+    bool hit = true;
+    auto result = resolver.GetOrBuild(
+        old_key, "t",
+        [&]() {
+          ++builds;
+          build_started.set_value();
+          release.wait();  // hold the build open while we invalidate
+          return Result<std::shared_ptr<const exec::BuiltRight>>(stale);
+        },
+        &hit);
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(result.value().get(), stale.get());
+  });
+
+  build_started.get_future().wait();
+  // The table is dropped/replaced while the old build is mid-flight;
+  // nothing is resident yet, so there is nothing to reap.
+  EXPECT_EQ(cache.InvalidateTable("t"), 0);
+  release_build.set_value();
+  racer.join();
+
+  // The straggler insert landed under the old-generation key: present,
+  // but unreachable by any caller using the post-invalidation key.
+  EXPECT_NE(cache.Lookup(old_key), nullptr);
+
+  bool hit = true;
+  auto rebuilt = resolver.GetOrBuild(
+      new_key, "t",
+      [&]() {
+        ++builds;
+        return Result<std::shared_ptr<const exec::BuiltRight>>(fresh);
+      },
+      &hit);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_FALSE(hit);  // new generation never sees the stale artifact
+  EXPECT_EQ(rebuilt.value().get(), fresh.get());
+  EXPECT_EQ(builds.load(), 2);
+
+  // The next invalidation reaps both generations' entries.
+  EXPECT_EQ(cache.InvalidateTable("t"), 2);
+  EXPECT_EQ(cache.Lookup(old_key), nullptr);
+  EXPECT_EQ(cache.Lookup(new_key), nullptr);
+  EXPECT_EQ(cache.GetStats().entries, 0);
 }
 
 /// 8 threads hammer a shared cache with a hot set (mostly hits) and a

@@ -286,5 +286,47 @@ TEST_F(QueryServiceTest, StatsToStringMentionsEverySection) {
   EXPECT_NE(rendered.find("latency total:"), std::string::npos);
 }
 
+TEST_F(QueryServiceTest, IntervalStatsDeltaAgainstLifetime) {
+  auto service = MakeService(ServiceOptions());
+  Session* session = service->CreateSession();
+
+  // Interval 1: two queries (one cache miss + one hit).
+  ASSERT_TRUE(service->Execute(session, TaxiNycbSql()).ok());
+  ASSERT_TRUE(service->Execute(session, TaxiNycbSql()).ok());
+  ServiceStats first = service->TakeIntervalStats();
+  EXPECT_EQ(first.queries_submitted, 2);
+  EXPECT_EQ(first.queries_ok, 2);
+  // Two lookup misses: the build path re-checks under the flight lock.
+  EXPECT_EQ(first.cache.misses, 2);
+  EXPECT_EQ(first.cache.hits, 1);
+  EXPECT_EQ(first.total_latency.count, 2);
+  EXPECT_GT(first.total_latency.max_seconds, 0.0);
+
+  // Interval 2: one query — only the delta shows, not the lifetime.
+  ASSERT_TRUE(service->Execute(session, TaxiNycbSql()).ok());
+  ServiceStats second = service->TakeIntervalStats();
+  EXPECT_EQ(second.queries_submitted, 1);
+  EXPECT_EQ(second.cache.misses, 0);
+  EXPECT_EQ(second.cache.hits, 1);
+  EXPECT_EQ(second.total_latency.count, 1);
+  EXPECT_EQ(second.admission.admitted_immediately, 1);
+
+  // Gauges stay current rather than delta'd: the cached index is still
+  // resident in the second interval.
+  EXPECT_EQ(second.cache.entries, 1);
+  EXPECT_GT(second.cache.bytes, 0);
+
+  // Lifetime stats are untouched by interval draining.
+  ServiceStats lifetime = service->GetStats();
+  EXPECT_EQ(lifetime.queries_submitted, 3);
+  EXPECT_EQ(lifetime.total_latency.count, 3);
+
+  // An idle interval reads as all-zero deltas.
+  ServiceStats idle = service->TakeIntervalStats();
+  EXPECT_EQ(idle.queries_submitted, 0);
+  EXPECT_EQ(idle.total_latency.count, 0);
+  EXPECT_EQ(idle.cache.hits, 0);
+}
+
 }  // namespace
 }  // namespace cloudjoin::server

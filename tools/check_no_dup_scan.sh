@@ -27,6 +27,15 @@
 #      storage layer itself, the execution core, and the sanctioned engine
 #      scan shells listed below. Any other module growing a scan loop must
 #      route through exec:: (probe scanner / right builder) instead.
+#
+# PR 7 added the streaming window index. Its mutation surface is
+# deliberately tiny — insert on arrival, expire on watermark advance,
+# both inside the registry — so:
+#
+#   5. WindowGrid (the live-window uniform grid) may be touched only by
+#      src/stream/. Another layer mutating or even gathering from the
+#      window index would bypass the windowing/watermark discipline that
+#      makes streamed output byte-identical to per-window batch joins.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -64,6 +73,12 @@ check "columnar scan entry point" \
 check "text scan entry point" \
   "LineRecordReader" \
   "^src/(dfs/|exec/|data/convert|impala/exec_node|join/isp_mc_system|spark/rdd)"
+
+# WindowGridOptions (plain configuration) is fine anywhere; the index
+# type itself is what must stay inside src/stream/.
+check "streaming window-grid index" \
+  "WindowGrid[^O]" \
+  "^src/stream/"
 
 if [ "$fail" -eq 0 ]; then
   echo "check_no_dup_scan: OK (one scan loop, one parse entry point)"
